@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 4 — Naive vs HPAC vs MAB vs StaticBest in CD1 (section
+ * 2.1.3): prior coordination policies leave a large part of the
+ * StaticBest headroom unclaimed, on both workload categories.
+ */
+
+#include "bench_util.hh"
+
+using namespace athena;
+using namespace athena::bench;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    auto adverse =
+        runner.adverseSet(classificationConfig(), workloads);
+
+    auto cd1 = [](PolicyKind policy) {
+        return makeDesignConfig(CacheDesign::kCd1, policy);
+    };
+
+    std::vector<NamedConfig> configs = {
+        {"POPET", cd1(PolicyKind::kOcpOnly)},
+        {"Pythia", cd1(PolicyKind::kPfOnly)},
+        {"Naive<POPET,Pythia>", cd1(PolicyKind::kNaive)},
+        {"HPAC<POPET,Pythia>", cd1(PolicyKind::kHpac)},
+        {"MAB<POPET,Pythia>", cd1(PolicyKind::kMab)},
+    };
+
+    auto rows = runCategoryTable(
+        runner, "Fig. 4: prior coordination policies vs StaticBest",
+        configs, workloads, adverse);
+
+    auto best = staticBest(rows, {"POPET", "Pythia",
+                                  "Naive<POPET,Pythia>"});
+    printSummaryLine("StaticBest<POPET,Pythia>", best, adverse);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 9 — speedup in cache design 2 (CD2: POPET OCP + IPCP at
+ * L1D), including TLP, the only prior OCP-aware policy.
+ *
+ * Paper's findings: TLP beats Naive on adverse workloads (its L1D
+ * filter works there) but underperforms Naive by ~12% on friendly
+ * ones; Athena beats Naive/TLP/HPAC/MAB by 4.5/8.7/8.4/5.2%.
+ */
+
+#include "bench_util.hh"
+
+using namespace athena;
+using namespace athena::bench;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    auto adverse =
+        runner.adverseSet(classificationConfig(), workloads);
+
+    auto cd2 = [](PolicyKind policy) {
+        return makeDesignConfig(CacheDesign::kCd2, policy);
+    };
+
+    std::vector<NamedConfig> configs = {
+        {"POPET", cd2(PolicyKind::kOcpOnly)},
+        {"IPCP", cd2(PolicyKind::kPfOnly)},
+        {"Naive<POPET,IPCP>", cd2(PolicyKind::kNaive)},
+        {"TLP<POPET,IPCP>", cd2(PolicyKind::kTlp)},
+        {"HPAC<POPET,IPCP>", cd2(PolicyKind::kHpac)},
+        {"MAB<POPET,IPCP>", cd2(PolicyKind::kMab)},
+        {"Athena<POPET,IPCP>", cd2(PolicyKind::kAthena)},
+    };
+
+    runCategoryTable(runner, "Fig. 9: speedup in CD2", configs,
+                     workloads, adverse);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 10 — speedup in cache design 3 (CD3: POPET OCP + SMS and
+ * Pythia, both at L2C).
+ *
+ * Paper's findings: with two L2C prefetchers the uncoordinated
+ * combination degrades adverse workloads badly; Athena reaches
+ * +3.2% over baseline on them and matches Naive on friendly ones,
+ * beating Naive/HPAC/MAB by 10.1/10.4/6.4% overall.
+ */
+
+#include "bench_util.hh"
+
+using namespace athena;
+using namespace athena::bench;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    auto adverse =
+        runner.adverseSet(classificationConfig(), workloads);
+
+    auto cd3 = [](PolicyKind policy) {
+        return makeDesignConfig(CacheDesign::kCd3, policy);
+    };
+
+    std::vector<NamedConfig> configs = {
+        {"POPET", cd3(PolicyKind::kOcpOnly)},
+        {"SMS+Pythia", cd3(PolicyKind::kPfOnly)},
+        {"Naive<POPET,SMS+Pythia>", cd3(PolicyKind::kNaive)},
+        {"HPAC<POPET,SMS+Pythia>", cd3(PolicyKind::kHpac)},
+        {"MAB<POPET,SMS+Pythia>", cd3(PolicyKind::kMab)},
+        {"Athena<POPET,SMS+Pythia>", cd3(PolicyKind::kAthena)},
+    };
+
+    runCategoryTable(runner, "Fig. 10: speedup in CD3", configs,
+                     workloads, adverse);
+    return 0;
+}

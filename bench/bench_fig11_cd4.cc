@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 11 — speedup in cache design 4 (CD4: POPET OCP + IPCP at
+ * L1D + Pythia at L2C).
+ *
+ * Paper's findings: the uncoordinated triple combination is the
+ * worst of all designs on adverse workloads (-26.8%); TLP cannot
+ * throttle the L2C prefetcher and still degrades (-16.7%); Athena
+ * coordinates both levels and beats Naive/TLP/HPAC/MAB by
+ * 14.9/9.9/10.3/7.0%.
+ */
+
+#include "bench_util.hh"
+
+using namespace athena;
+using namespace athena::bench;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    auto adverse =
+        runner.adverseSet(classificationConfig(), workloads);
+
+    auto cd4 = [](PolicyKind policy) {
+        return makeDesignConfig(CacheDesign::kCd4, policy);
+    };
+
+    std::vector<NamedConfig> configs = {
+        {"POPET", cd4(PolicyKind::kOcpOnly)},
+        {"IPCP+Pythia", cd4(PolicyKind::kPfOnly)},
+        {"Naive<POPET,IPCP,Pythia>", cd4(PolicyKind::kNaive)},
+        {"TLP<POPET,IPCP>+Pythia", cd4(PolicyKind::kTlp)},
+        {"HPAC<POPET,IPCP,Pythia>", cd4(PolicyKind::kHpac)},
+        {"MAB<POPET,IPCP,Pythia>", cd4(PolicyKind::kMab)},
+        {"Athena<POPET,IPCP,Pythia>", cd4(PolicyKind::kAthena)},
+    };
+
+    runCategoryTable(runner, "Fig. 11: speedup in CD4", configs,
+                     workloads, adverse);
+    return 0;
+}

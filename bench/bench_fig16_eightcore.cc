@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 16 — eight-core workload mixes (CD1 per core, shared LLC
+ * and DRAM channel).
+ *
+ * Paper's findings: Athena beats Naive/HPAC/MAB by 9.7/9.6/4.3%
+ * overall, again without multi-core-specific tuning.
+ */
+
+#include "bench_multicore_common.hh"
+
+int
+main()
+{
+    athena::bench::runMulticoreFigure(
+        8, "Fig. 16: eight-core mix speedups (CD1)");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for Athena's timing-critical
+ * hardware structures: QVStore lookup/update (section 5.4.2 argues
+ * a 50-cycle update budget is ample) and Bloom filter
+ * insert/query (section 5.2 trackers).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "athena/bloom.hh"
+#include "athena/qvstore.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+void
+BM_QVStoreLookup(benchmark::State &state)
+{
+    athena::QVStore qv;
+    athena::Rng rng(1);
+    for (auto _ : state) {
+        auto s = static_cast<std::uint32_t>(rng.next());
+        benchmark::DoNotOptimize(qv.q(s, s & 3));
+    }
+}
+BENCHMARK(BM_QVStoreLookup);
+
+void
+BM_QVStoreArgmax(benchmark::State &state)
+{
+    athena::QVStore qv;
+    athena::Rng rng(2);
+    for (auto _ : state) {
+        auto s = static_cast<std::uint32_t>(rng.next());
+        benchmark::DoNotOptimize(qv.argmax(s));
+    }
+}
+BENCHMARK(BM_QVStoreArgmax);
+
+void
+BM_QVStoreSarsaUpdate(benchmark::State &state)
+{
+    athena::QVStore qv;
+    athena::Rng rng(3);
+    for (auto _ : state) {
+        auto s = static_cast<std::uint32_t>(rng.next());
+        auto s2 = static_cast<std::uint32_t>(rng.next());
+        qv.update(s, s & 3, 0.5, s2, s2 & 3);
+    }
+}
+BENCHMARK(BM_QVStoreSarsaUpdate);
+
+void
+BM_BloomInsert(benchmark::State &state)
+{
+    athena::BloomFilter bloom(4096, 2);
+    athena::Rng rng(4);
+    for (auto _ : state)
+        bloom.insert(rng.next());
+}
+BENCHMARK(BM_BloomInsert);
+
+void
+BM_BloomQuery(benchmark::State &state)
+{
+    athena::BloomFilter bloom(4096, 2);
+    athena::Rng rng(5);
+    for (int i = 0; i < 199; ++i)
+        bloom.insert(rng.next());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bloom.mayContain(rng.next()));
+}
+BENCHMARK(BM_BloomQuery);
+
+} // namespace
+
+BENCHMARK_MAIN();

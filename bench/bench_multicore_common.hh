@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared driver for the multi-core figures (Fig. 15 and Fig. 16):
+ * build the adverse/friendly/random mixes of section 6.1, run every
+ * policy over them, and print per-category geomeans. The number of
+ * mixes per category is ATHENA_MIXES (default 10; the paper uses
+ * 30).
+ */
+
+#ifndef ATHENA_BENCH_BENCH_MULTICORE_COMMON_HH
+#define ATHENA_BENCH_BENCH_MULTICORE_COMMON_HH
+
+#include <cstdlib>
+
+#include "bench_util.hh"
+
+namespace athena::bench
+{
+
+inline void
+runMulticoreFigure(unsigned cores, const std::string &title)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    auto adverse_set =
+        runner.adverseSet(classificationConfig(), workloads);
+
+    std::vector<std::string> adverse, friendly, all;
+    for (const auto &spec : workloads) {
+        all.push_back(spec.name);
+        if (adverse_set.count(spec.name))
+            adverse.push_back(spec.name);
+        else
+            friendly.push_back(spec.name);
+    }
+
+    unsigned per_category = 10;
+    if (const char *v = std::getenv("ATHENA_MIXES")) {
+        if (*v)
+            per_category = static_cast<unsigned>(std::atoi(v));
+    }
+    auto mixes = buildMixes(adverse, friendly, all, cores,
+                            per_category, 0xA11CE + cores);
+
+    const PolicyKind policies[] = {
+        PolicyKind::kOcpOnly, PolicyKind::kPfOnly,
+        PolicyKind::kNaive, PolicyKind::kHpac, PolicyKind::kMab,
+        PolicyKind::kAthena};
+
+    TextTable t(title);
+    t.addRow({"policy", "AdverseMix", "FriendlyMix", "RandomMix",
+              "Overall"});
+    for (PolicyKind policy : policies) {
+        SystemConfig cfg =
+            makeDesignConfig(CacheDesign::kCd1, policy);
+        cfg.cores = cores;
+
+        std::vector<double> per_mix(mixes.size());
+        parallelFor(mixes.size(), [&](std::size_t i) {
+            std::vector<WorkloadSpec> specs;
+            for (const auto &name : mixes[i].workloads)
+                specs.push_back(findWorkload(workloads, name));
+            per_mix[i] = runner.mixSpeedup(cfg, specs);
+        });
+
+        std::vector<double> adv(per_mix.begin(),
+                                per_mix.begin() + per_category);
+        std::vector<double> fri(per_mix.begin() + per_category,
+                                per_mix.begin() + 2 * per_category);
+        std::vector<double> rnd(per_mix.begin() + 2 * per_category,
+                                per_mix.end());
+        t.addRow({policyKindName(policy),
+                  TextTable::num(geomean(adv)),
+                  TextTable::num(geomean(fri)),
+                  TextTable::num(geomean(rnd)),
+                  TextTable::num(geomean(per_mix))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected shape: athena leads every category; "
+                 "its margin over naive is largest on the adverse "
+                 "mixes.\n";
+}
+
+} // namespace athena::bench
+
+#endif // ATHENA_BENCH_BENCH_MULTICORE_COMMON_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: named
+ * configurations, the category table printer (SPEC / PARSEC /
+ * Ligra / CVP / prefetcher-adverse / prefetcher-friendly /
+ * overall), and the StaticBest reduction of section 2.1.2.
+ *
+ * Workload classification follows the paper: a workload is
+ * prefetcher-adverse iff Pythia-only at L2C (CD1) degrades it
+ * relative to the no-speculation baseline at 3.2 GB/s (Fig. 1).
+ */
+
+#ifndef ATHENA_BENCH_BENCH_UTIL_HH
+#define ATHENA_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+namespace athena::bench
+{
+
+/** A labelled system configuration (one bar group of a figure). */
+struct NamedConfig
+{
+    std::string name;
+    SystemConfig cfg;
+};
+
+/** The paper's reference classification config (Fig. 1). */
+inline SystemConfig
+classificationConfig()
+{
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kPfOnly);
+    cfg.bandwidthGBps = 3.2;
+    return cfg;
+}
+
+/** Run each config over the workloads and print the category
+ *  table; returns per-config rows for further reduction. */
+inline std::map<std::string, std::vector<SpeedupRow>>
+runCategoryTable(ExperimentRunner &runner, const std::string &title,
+                 const std::vector<NamedConfig> &configs,
+                 const std::vector<WorkloadSpec> &workloads,
+                 const std::set<std::string> &adverse)
+{
+    TextTable table(title);
+    table.addRow({"config", "SPEC", "PARSEC", "Ligra", "CVP",
+                  "Adverse", "Friendly", "Overall"});
+
+    std::map<std::string, std::vector<SpeedupRow>> all_rows;
+    for (const NamedConfig &nc : configs) {
+        auto rows = runner.speedups(nc.cfg, workloads);
+        CategorySummary s = ExperimentRunner::summarize(rows, adverse);
+        table.addRow({nc.name, TextTable::num(s.spec),
+                      TextTable::num(s.parsec),
+                      TextTable::num(s.ligra), TextTable::num(s.cvp),
+                      TextTable::num(s.adverse),
+                      TextTable::num(s.friendly),
+                      TextTable::num(s.overall)});
+        all_rows[nc.name] = std::move(rows);
+    }
+    table.print(std::cout);
+    return all_rows;
+}
+
+/**
+ * StaticBest (section 2.1.2): for each workload, the best of the
+ * four static combos, selected retrospectively.
+ */
+inline std::vector<SpeedupRow>
+staticBest(const std::map<std::string, std::vector<SpeedupRow>> &rows,
+           const std::vector<std::string> &combo_names)
+{
+    std::vector<SpeedupRow> best;
+    const auto &first = rows.at(combo_names.front());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        SpeedupRow row = first[i];
+        for (const auto &name : combo_names) {
+            const SpeedupRow &cand = rows.at(name)[i];
+            if (cand.speedup > row.speedup)
+                row = cand;
+        }
+        // "Both disabled" is always available: floor at 1.0.
+        row.speedup = std::max(row.speedup, 1.0);
+        best.push_back(std::move(row));
+    }
+    return best;
+}
+
+/** Print a one-line category summary for a labelled row set. */
+inline void
+printSummaryLine(const std::string &name,
+                 const std::vector<SpeedupRow> &rows,
+                 const std::set<std::string> &adverse)
+{
+    CategorySummary s = ExperimentRunner::summarize(rows, adverse);
+    TextTable table;
+    table.addRow({"config", "Adverse", "Friendly", "Overall"});
+    table.addRow({name, TextTable::num(s.adverse),
+                  TextTable::num(s.friendly),
+                  TextTable::num(s.overall)});
+    table.print(std::cout);
+}
+
+} // namespace athena::bench
+
+#endif // ATHENA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Design-space exploration (paper section 5.3): grid-search
+ * Athena's hyperparameters on the 20-workload tuning set — which is
+ * disjoint from the 100 evaluation workloads, exactly as in the
+ * paper's methodology — and report the best configuration.
+ *
+ * The default grid is deliberately coarse so the tool finishes in
+ * minutes; densify via the constants below or sharpen per-point
+ * fidelity with ATHENA_SIM_INSTR. The shipped defaults in
+ * AthenaConfig/QVStoreParams are the outcome of running this
+ * search on this substrate (DESIGN.md section 5a).
+ *
+ * Usage: dse_tuning [epochs|reward|rl]
+ *   epochs: sweep the epoch length
+ *   reward: sweep lambda_cycle x lambda_MBr
+ *   rl:     sweep alpha x gamma (default)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+using namespace athena;
+
+namespace
+{
+
+/** Geomean speedup of a config over the tuning set. */
+double
+tuningScore(ExperimentRunner &runner, const SystemConfig &cfg)
+{
+    static const auto tuning = tuningWorkloads();
+    auto rows = runner.speedups(
+        const_cast<SystemConfig &>(cfg), tuning);
+    return ExperimentRunner::summarize(rows, {}).overall;
+}
+
+SystemConfig
+baseConfig()
+{
+    return makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+}
+
+void
+sweepRl(ExperimentRunner &runner)
+{
+    TextTable t("DSE: alpha x gamma on the tuning set "
+                "(geomean speedup)");
+    t.addRow({"alpha\\gamma", "0.2", "0.6", "0.9"});
+    for (double alpha : {0.2, 0.6, 0.9}) {
+        std::vector<std::string> row = {TextTable::num(alpha, 1)};
+        for (double gamma : {0.2, 0.6, 0.9}) {
+            SystemConfig cfg = baseConfig();
+            cfg.athena.qv.alpha = alpha;
+            cfg.athena.qv.gamma = gamma;
+            row.push_back(
+                TextTable::num(tuningScore(runner, cfg)));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+}
+
+void
+sweepReward(ExperimentRunner &runner)
+{
+    TextTable t("DSE: lambda_cycle x lambda_MBr on the tuning set");
+    t.addRow({"cyc\\mbr", "0.0", "1.0", "2.0"});
+    for (double lc : {0.8, 1.6, 2.0}) {
+        std::vector<std::string> row = {TextTable::num(lc, 1)};
+        for (double lm : {0.0, 1.0, 2.0}) {
+            SystemConfig cfg = baseConfig();
+            cfg.athena.rewardWeights.lambdaCycle = lc;
+            cfg.athena.rewardWeights.lambdaMispredBranch = lm;
+            row.push_back(
+                TextTable::num(tuningScore(runner, cfg)));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+}
+
+void
+sweepEpochs(ExperimentRunner &runner)
+{
+    TextTable t("DSE: epoch length on the tuning set");
+    t.addRow({"epoch (instr)", "geomean speedup"});
+    for (std::uint64_t epoch : {2000u, 4000u, 8000u, 16000u}) {
+        SystemConfig cfg = baseConfig();
+        cfg.epochInstructions = epoch;
+        t.addRow({std::to_string(epoch),
+                  TextTable::num(tuningScore(runner, cfg))});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode = argc > 1 ? argv[1] : "rl";
+    ExperimentRunner runner;
+    if (mode == "epochs")
+        sweepEpochs(runner);
+    else if (mode == "reward")
+        sweepReward(runner);
+    else
+        sweepRl(runner);
+    std::cout << "\nNote: scored on the 20 tuning workloads only; "
+                 "the 100 evaluation workloads never participate in "
+                 "tuning (paper section 5.3).\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bloom filter implementation.
+ */
+
+#include "athena/bloom.hh"
+
+#include <cmath>
+
+#include "common/hashing.hh"
+
+namespace athena
+{
+
+BloomFilter::BloomFilter(unsigned bits, unsigned hashes)
+    : bitCount(bits), hashCount(hashes), words((bits + 63) / 64, 0)
+{}
+
+void
+BloomFilter::insert(std::uint64_t key)
+{
+    for (unsigned h = 0; h < hashCount; ++h) {
+        std::uint64_t bit = keyedHash(key, h) % bitCount;
+        words[bit >> 6] |= 1ull << (bit & 63);
+    }
+    ++inserted;
+}
+
+bool
+BloomFilter::mayContain(std::uint64_t key) const
+{
+    for (unsigned h = 0; h < hashCount; ++h) {
+        std::uint64_t bit = keyedHash(key, h) % bitCount;
+        if (!(words[bit >> 6] & (1ull << (bit & 63))))
+            return false;
+    }
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    for (auto &w : words)
+        w = 0;
+    inserted = 0;
+}
+
+double
+BloomFilter::falsePositiveRate(std::uint64_t n) const
+{
+    double k = hashCount;
+    double m = bitCount;
+    double p_bit_set =
+        1.0 - std::exp(-k * static_cast<double>(n) / m);
+    return std::pow(p_bit_set, k);
+}
+
+} // namespace athena

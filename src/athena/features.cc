@@ -1,0 +1,97 @@
+/**
+ * @file
+ * StateEncoder implementation.
+ */
+
+#include "athena/features.hh"
+
+namespace athena
+{
+
+const char *
+stateFeatureName(StateFeature feature)
+{
+    switch (feature) {
+      case StateFeature::kPrefetcherAccuracy:
+        return "prefetcher_accuracy";
+      case StateFeature::kOcpAccuracy:
+        return "ocp_accuracy";
+      case StateFeature::kBandwidthUsage:
+        return "bandwidth_usage";
+      case StateFeature::kCachePollution:
+        return "cache_pollution";
+      case StateFeature::kPrefetchBandwidthShare:
+        return "prefetch_bandwidth_share";
+      case StateFeature::kOcpBandwidthShare:
+        return "ocp_bandwidth_share";
+      case StateFeature::kDemandBandwidthShare:
+        return "demand_bandwidth_share";
+    }
+    return "?";
+}
+
+std::vector<StateFeature>
+defaultFeatureSet()
+{
+    return {
+        StateFeature::kPrefetcherAccuracy,
+        StateFeature::kOcpAccuracy,
+        StateFeature::kBandwidthUsage,
+        StateFeature::kCachePollution,
+    };
+}
+
+double
+StateEncoder::rawValue(StateFeature feature, const EpochStats &stats)
+{
+    auto share = [&](std::uint64_t part) {
+        std::uint64_t total =
+            stats.dramDemand + stats.dramPrefetch + stats.dramOcp;
+        return total == 0 ? 0.0
+                          : static_cast<double>(part) /
+                                static_cast<double>(total);
+    };
+
+    switch (feature) {
+      case StateFeature::kPrefetcherAccuracy:
+        {
+            // Aggregate over prefetcher slots, as the QVStore keys a
+            // single prefetcher-accuracy feature.
+            std::uint64_t issued = 0;
+            std::uint64_t used = 0;
+            for (unsigned s = 0; s < kMaxPrefetchers; ++s) {
+                issued += stats.pfIssued[s];
+                used += stats.pfUsed[s];
+            }
+            return issued == 0 ? 0.0
+                               : static_cast<double>(used) /
+                                     static_cast<double>(issued);
+        }
+      case StateFeature::kOcpAccuracy:
+        return stats.ocpAccuracy();
+      case StateFeature::kBandwidthUsage:
+        return stats.bandwidthUsage;
+      case StateFeature::kCachePollution:
+        return stats.pollutionFraction();
+      case StateFeature::kPrefetchBandwidthShare:
+        return share(stats.dramPrefetch);
+      case StateFeature::kOcpBandwidthShare:
+        return share(stats.dramOcp);
+      case StateFeature::kDemandBandwidthShare:
+        return share(stats.dramDemand);
+    }
+    return 0.0;
+}
+
+std::uint32_t
+StateEncoder::encode(const EpochStats &stats) const
+{
+    std::uint32_t state = 0;
+    for (StateFeature f : features) {
+        state = (state << kBitsPerFeature) |
+                quantize(rawValue(f, stats));
+    }
+    return state;
+}
+
+} // namespace athena

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Athena's state representation (section 4.1).
+ *
+ * The state is a vector of quantized system-level features packed
+ * into a 32-bit word. Table 1 lists seven candidates; the automated
+ * design-space exploration of section 5.3.1 selects four
+ * (Table 3): prefetcher accuracy, OCP accuracy, bandwidth usage,
+ * and prefetch-induced cache pollution. The feature subset is
+ * configurable here so the Fig. 18 ablation can add them one at a
+ * time.
+ */
+
+#ifndef ATHENA_ATHENA_FEATURES_HH
+#define ATHENA_ATHENA_FEATURES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "coord/policy.hh"
+
+namespace athena
+{
+
+/** The seven candidate features of Table 1. */
+enum class StateFeature : std::uint8_t
+{
+    kPrefetcherAccuracy,
+    kOcpAccuracy,
+    kBandwidthUsage,
+    kCachePollution,
+    kPrefetchBandwidthShare,
+    kOcpBandwidthShare,
+    kDemandBandwidthShare,
+};
+
+const char *stateFeatureName(StateFeature feature);
+
+/** The DSE-selected default subset (Table 3). */
+std::vector<StateFeature> defaultFeatureSet();
+
+/**
+ * Packs selected features, quantized to kBitsPerFeature levels
+ * each, into a state word.
+ */
+class StateEncoder
+{
+  public:
+    static constexpr unsigned kBitsPerFeature = 2;
+    static constexpr unsigned kLevels = 1u << kBitsPerFeature;
+
+    explicit StateEncoder(std::vector<StateFeature> features =
+                              defaultFeatureSet())
+        : features(std::move(features))
+    {}
+
+    /** Extract a raw feature value in [0, 1] from epoch stats. */
+    static double rawValue(StateFeature feature,
+                           const EpochStats &stats);
+
+    /** Quantize a [0, 1] value to a level in [0, kLevels). */
+    static unsigned
+    quantize(double v)
+    {
+        if (v <= 0.0)
+            return 0;
+        if (v >= 1.0)
+            return kLevels - 1;
+        return static_cast<unsigned>(v * kLevels);
+    }
+
+    /** Encode the packed state vector for this epoch. */
+    std::uint32_t encode(const EpochStats &stats) const;
+
+    const std::vector<StateFeature> &featureSet() const
+    {
+        return features;
+    }
+
+  private:
+    std::vector<StateFeature> features;
+};
+
+} // namespace athena
+
+#endif // ATHENA_ATHENA_FEATURES_HH

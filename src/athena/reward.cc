@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Composite reward implementation.
+ */
+
+#include "athena/reward.hh"
+
+#include <algorithm>
+
+namespace athena
+{
+
+double
+CompositeReward::scaledDelta(std::uint64_t prev_value,
+                             std::uint64_t prev_instr,
+                             std::uint64_t cur_value,
+                             std::uint64_t cur_instr, double ref)
+{
+    if (prev_instr == 0 || cur_instr == 0 || ref <= 0.0)
+        return 0.0;
+    double prev_ki = static_cast<double>(prev_value) * 1000.0 /
+                     static_cast<double>(prev_instr);
+    double cur_ki = static_cast<double>(cur_value) * 1000.0 /
+                    static_cast<double>(cur_instr);
+    return std::clamp((prev_ki - cur_ki) / ref, -2.0, 2.0);
+}
+
+double
+CompositeReward::correlated(const EpochStats &prev,
+                            const EpochStats &cur) const
+{
+    double r = 0.0;
+    r += w.lambdaCycle *
+         scaledDelta(prev.cycles, prev.instructions, cur.cycles,
+                     cur.instructions, scales.cyclesPerKi);
+    r += w.lambdaLlcMiss *
+         scaledDelta(prev.llcMisses, prev.instructions,
+                     cur.llcMisses, cur.instructions,
+                     scales.llcMissesPerKi);
+    r += w.lambdaLlcMissLatency *
+         scaledDelta(prev.llcMissLatency, prev.instructions,
+                     cur.llcMissLatency, cur.instructions,
+                     scales.llcMissLatencyPerKi);
+    return r;
+}
+
+double
+CompositeReward::uncorrelated(const EpochStats &prev,
+                              const EpochStats &cur) const
+{
+    double r = 0.0;
+    r += w.lambdaLoad *
+         scaledDelta(prev.loads, prev.instructions, cur.loads,
+                     cur.instructions, scales.loadsPerKi);
+    r += w.lambdaMispredBranch *
+         scaledDelta(prev.branchMispredicts, prev.instructions,
+                     cur.branchMispredicts, cur.instructions,
+                     scales.mispredictsPerKi);
+    return r;
+}
+
+double
+CompositeReward::compute(const EpochStats &prev,
+                         const EpochStats &cur) const
+{
+    double r = correlated(prev, cur);
+    if (useUncorrelated)
+        r -= uncorrelated(prev, cur);
+    return r;
+}
+
+} // namespace athena

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Athena's composite reward framework (section 4.3).
+ *
+ * The key idea of the paper: a change in IPC conflates (a) the
+ * effect of the agent's coordination actions with (b) inherent
+ * workload phase behaviour. The composite reward separates them:
+ *
+ *   R_t = R_corr_t - R_uncorr_t
+ *   R_corr_t   = sum_i lambda_i * dM_corr_i   (cycles, LLC misses,
+ *                                              LLC miss latency)
+ *   R_uncorr_t = sum_j lambda_j * dM_uncorr_j (loads, mispredicted
+ *                                              branches)
+ *
+ * Each delta is the per-kilo-instruction improvement of the metric
+ * between consecutive epochs (previous minus current, so a drop in
+ * cycles is positive), divided by a fixed reference magnitude that
+ * makes the terms commensurate (a metric's typical per-KI scale).
+ * Normalizing each metric by its own epoch-to-epoch value instead
+ * would let a numerically tiny but *relatively* noisy metric (a
+ * handful of mispredicted branches) drown the cycle signal — the
+ * reference scales keep the Table 3 weights meaningful.
+ *
+ * Table 3 weights: lambda_cycle = 1.6, lambda_LLCm = 0,
+ * lambda_LLCt = 0, lambda_load = 0.6, lambda_MBr = 1.0.
+ */
+
+#ifndef ATHENA_ATHENA_REWARD_HH
+#define ATHENA_ATHENA_REWARD_HH
+
+#include <algorithm>
+
+#include "coord/policy.hh"
+
+namespace athena
+{
+
+/** Reward weights (Table 2 / Table 3). */
+struct RewardWeights
+{
+    double lambdaCycle = 1.6;
+    double lambdaLlcMiss = 0.0;
+    double lambdaLlcMissLatency = 0.0;
+    double lambdaLoad = 0.6;
+    double lambdaMispredBranch = 1.0;
+};
+
+/** Per-KI reference magnitudes used to normalize metric deltas. */
+struct RewardScales
+{
+    double cyclesPerKi = 2000.0;
+    double llcMissesPerKi = 20.0;
+    double llcMissLatencyPerKi = 5000.0;
+    double loadsPerKi = 300.0;
+    double mispredictsPerKi = 20.0;
+};
+
+class CompositeReward
+{
+  public:
+    explicit CompositeReward(const RewardWeights &weights =
+                                 RewardWeights{},
+                             bool use_uncorrelated = true,
+                             const RewardScales &scales =
+                                 RewardScales{})
+        : w(weights), scales(scales),
+          useUncorrelated(use_uncorrelated)
+    {}
+
+    /**
+     * Normalized improvement of a metric between epochs: the
+     * per-KI delta (prev - cur), divided by @p ref. Clamped to
+     * [-2, 2] so one pathological epoch cannot swamp the Q-values.
+     */
+    static double scaledDelta(std::uint64_t prev_value,
+                              std::uint64_t prev_instr,
+                              std::uint64_t cur_value,
+                              std::uint64_t cur_instr, double ref);
+
+    /** Correlated component R_corr (Eq. 3). */
+    double correlated(const EpochStats &prev,
+                      const EpochStats &cur) const;
+
+    /** Uncorrelated component R_uncorr (Eq. 4). */
+    double uncorrelated(const EpochStats &prev,
+                        const EpochStats &cur) const;
+
+    /** Overall reward R = R_corr - R_uncorr (Eq. 2). */
+    double compute(const EpochStats &prev, const EpochStats &cur) const;
+
+    const RewardWeights &weights() const { return w; }
+    bool usesUncorrelated() const { return useUncorrelated; }
+
+  private:
+    RewardWeights w;
+    RewardScales scales;
+    /** Fig. 18 ablation: drop the uncorrelated component. */
+    bool useUncorrelated;
+};
+
+/**
+ * IPC-only reward used by prior RL controllers [30, 71, 85] — the
+ * strawman the composite framework improves on (Fig. 18's
+ * "Stateless Athena" starts from this).
+ */
+class IpcReward
+{
+  public:
+    double
+    compute(const EpochStats &prev, const EpochStats &cur) const
+    {
+        double prev_ipc = prev.ipc();
+        double cur_ipc = cur.ipc();
+        double denom = std::max(prev_ipc, cur_ipc);
+        return denom <= 0.0 ? 0.0 : (cur_ipc - prev_ipc) / denom;
+    }
+};
+
+} // namespace athena
+
+#endif // ATHENA_ATHENA_REWARD_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ZipfSampler implementation.
+ */
+
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena
+{
+
+ZipfSampler::ZipfSampler(std::uint64_t n_, double s) : n(n_)
+{
+    cdf.reserve(n);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf.push_back(acc);
+    }
+    for (auto &v : cdf)
+        v /= acc;
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        return n - 1;
+    return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
+} // namespace athena

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Statistics helper implementations.
+ */
+
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+QuartileSummary
+quartiles(std::vector<double> values)
+{
+    QuartileSummary s;
+    if (values.empty())
+        return s;
+    std::sort(values.begin(), values.end());
+    s.min = values.front();
+    s.max = values.back();
+    s.q1 = percentileSorted(values, 25.0);
+    s.median = percentileSorted(values, 50.0);
+    s.q3 = percentileSorted(values, 75.0);
+    s.mean = mean(values);
+    double iqr = s.q3 - s.q1;
+    s.whiskerLo = std::max(s.min, s.q1 - 1.5 * iqr);
+    s.whiskerHi = std::min(s.max, s.q3 + 1.5 * iqr);
+    return s;
+}
+
+} // namespace athena

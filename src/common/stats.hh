@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Statistics helpers used by the experiment runner and benches:
+ * geometric mean, arithmetic mean, and quartile summaries for the
+ * box-and-whisker style reporting of Fig. 8.
+ */
+
+#ifndef ATHENA_COMMON_STATS_HH
+#define ATHENA_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace athena
+{
+
+/** Geometric mean of strictly positive values. Empty input -> 1.0. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. Empty input -> 0.0. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Five-number-ish summary for box-and-whisker reporting
+ * (Fig. 3 and Fig. 8a use exactly these statistics).
+ */
+struct QuartileSummary
+{
+    double min = 0.0;
+    double q1 = 0.0;      ///< First quartile.
+    double median = 0.0;
+    double q3 = 0.0;      ///< Third quartile.
+    double max = 0.0;
+    double mean = 0.0;
+    double whiskerLo = 0.0; ///< q1 - 1.5 * IQR, clamped to min.
+    double whiskerHi = 0.0; ///< q3 + 1.5 * IQR, clamped to max.
+};
+
+/** Compute the summary. Empty input returns a zeroed summary. */
+QuartileSummary quartiles(std::vector<double> values);
+
+/**
+ * Linear-interpolation percentile of a *sorted* vector,
+ * p in [0, 100].
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+} // namespace athena
+
+#endif // ATHENA_COMMON_STATS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the bench binaries
+ * to emit the rows/series of each paper figure.
+ */
+
+#ifndef ATHENA_COMMON_TABLE_HH
+#define ATHENA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace athena
+{
+
+/**
+ * Collects rows of strings and pretty-prints them with aligned
+ * columns. The first row added is treated as the header.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title(std::move(title)) {}
+
+    /** Add a row; the first one becomes the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double v, int precision = 4);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace athena
+
+#endif // ATHENA_COMMON_TABLE_HH

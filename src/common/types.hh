@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fundamental types and address arithmetic shared by every module.
+ *
+ * The simulator operates on 64-bit physical addresses, 64-byte cache
+ * lines, and 4 KB pages, matching the configuration in Table 5 of the
+ * Athena paper (HPCA 2026).
+ */
+
+#ifndef ATHENA_COMMON_TYPES_HH
+#define ATHENA_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace athena
+{
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Cache line geometry (64 B lines). */
+constexpr unsigned kLineShift = 6;
+constexpr unsigned kLineBytes = 1u << kLineShift;
+
+/** Page geometry (4 KB pages). */
+constexpr unsigned kPageShift = 12;
+constexpr unsigned kPageBytes = 1u << kPageShift;
+
+/** Cache lines per page. */
+constexpr unsigned kLinesPerPage = kPageBytes / kLineBytes;
+
+/** Byte address -> cache-line number. */
+constexpr Addr
+lineNumber(Addr byte_addr)
+{
+    return byte_addr >> kLineShift;
+}
+
+/** Cache-line number -> byte address of the line base. */
+constexpr Addr
+lineBase(Addr line_number)
+{
+    return line_number << kLineShift;
+}
+
+/** Byte address -> page number. */
+constexpr Addr
+pageNumber(Addr byte_addr)
+{
+    return byte_addr >> kPageShift;
+}
+
+/** Cache-line offset of a byte address within its page [0, 64). */
+constexpr unsigned
+pageLineOffset(Addr byte_addr)
+{
+    return static_cast<unsigned>((byte_addr >> kLineShift) &
+                                 (kLinesPerPage - 1));
+}
+
+/** Classification of a memory request by its originator. */
+enum class AccessType : std::uint8_t
+{
+    kDemandLoad,   ///< Load issued by the core.
+    kDemandStore,  ///< Store issued by the core.
+    kPrefetch,     ///< Request issued by a hardware prefetcher.
+    kOcp,          ///< Speculative request issued by the off-chip
+                   ///< predictor directly to the memory controller.
+};
+
+/** Cache levels in the three-level hierarchy of Table 5. */
+enum class CacheLevel : std::uint8_t
+{
+    kL1D = 0,
+    kL2C = 1,
+    kLLC = 2,
+    kDram = 3,
+};
+
+} // namespace athena
+
+#endif // ATHENA_COMMON_TYPES_HH

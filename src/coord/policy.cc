@@ -1,0 +1,7 @@
+/**
+ * @file
+ * Placeholder translation unit; kind-name helpers live in
+ * simple.cc alongside the static policy factories.
+ */
+
+#include "coord/policy.hh"

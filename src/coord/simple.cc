@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static policy factories and policy kind names.
+ */
+
+#include "coord/simple.hh"
+
+namespace athena
+{
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kNaive:   return "naive";
+      case PolicyKind::kAllOff:  return "alloff";
+      case PolicyKind::kPfOnly:  return "pf_only";
+      case PolicyKind::kOcpOnly: return "ocp_only";
+      case PolicyKind::kTlp:     return "tlp";
+      case PolicyKind::kHpac:    return "hpac";
+      case PolicyKind::kMab:     return "mab";
+      case PolicyKind::kAthena:  return "athena";
+    }
+    return "?";
+}
+
+std::unique_ptr<CoordinationPolicy>
+makeNaivePolicy()
+{
+    CoordDecision d;
+    d.pfEnableMask = ~0u;
+    d.ocpEnable = true;
+    return std::make_unique<StaticPolicy>("naive", d);
+}
+
+std::unique_ptr<CoordinationPolicy>
+makeAllOffPolicy()
+{
+    CoordDecision d;
+    d.pfEnableMask = 0;
+    d.ocpEnable = false;
+    return std::make_unique<StaticPolicy>("alloff", d);
+}
+
+std::unique_ptr<CoordinationPolicy>
+makePfOnlyPolicy()
+{
+    CoordDecision d;
+    d.pfEnableMask = ~0u;
+    d.ocpEnable = false;
+    return std::make_unique<StaticPolicy>("pf_only", d);
+}
+
+std::unique_ptr<CoordinationPolicy>
+makeOcpOnlyPolicy()
+{
+    CoordDecision d;
+    d.pfEnableMask = 0;
+    d.ocpEnable = true;
+    return std::make_unique<StaticPolicy>("ocp_only", d);
+}
+
+} // namespace athena

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trivial static coordination policies: Naive (everything on), the
+ * no-speculation baseline, and the two single-mechanism combos.
+ * StaticBest (section 2.1.2) is not a policy — the experiment
+ * runner computes it retrospectively from these four.
+ */
+
+#ifndef ATHENA_COORD_SIMPLE_HH
+#define ATHENA_COORD_SIMPLE_HH
+
+#include "coord/policy.hh"
+
+namespace athena
+{
+
+/** A fixed decision applied every epoch. */
+class StaticPolicy : public CoordinationPolicy
+{
+  public:
+    StaticPolicy(std::string name, CoordDecision decision)
+        : label(std::move(name)), decision(decision)
+    {}
+
+    const char *name() const override { return label.c_str(); }
+
+    CoordDecision
+    onEpochEnd(const EpochStats &stats) override
+    {
+        (void)stats;
+        return decision;
+    }
+
+    void reset() override {}
+    std::size_t storageBits() const override { return 0; }
+
+  private:
+    std::string label;
+    CoordDecision decision;
+};
+
+/** Naive<OCP, PF...>: both mechanisms always on, full degree. */
+std::unique_ptr<CoordinationPolicy> makeNaivePolicy();
+
+/** Baseline: no prefetching and no OCP. */
+std::unique_ptr<CoordinationPolicy> makeAllOffPolicy();
+
+/** Prefetcher(s) only. */
+std::unique_ptr<CoordinationPolicy> makePfOnlyPolicy();
+
+/** OCP only. */
+std::unique_ptr<CoordinationPolicy> makeOcpOnlyPolicy();
+
+} // namespace athena
+
+#endif // ATHENA_COORD_SIMPLE_HH

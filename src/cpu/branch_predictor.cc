@@ -1,0 +1,41 @@
+/**
+ * @file
+ * gshare implementation.
+ */
+
+#include "cpu/branch_predictor.hh"
+
+#include "common/hashing.hh"
+
+namespace athena
+{
+
+BranchPredictor::BranchPredictor(unsigned table_bits)
+    : tableBits(table_bits),
+      table(1ull << table_bits, SatCounter<2>())
+{}
+
+bool
+BranchPredictor::predictAndTrain(std::uint64_t pc, bool taken)
+{
+    std::uint64_t mask = (1ull << tableBits) - 1;
+    std::uint64_t idx = (mix64(pc) ^ history) & mask;
+    bool prediction = table[idx].taken();
+    table[idx].update(taken);
+    history = ((history << 1) | (taken ? 1 : 0)) & mask;
+    ++statLookups;
+    if (prediction != taken)
+        ++statMispredicts;
+    return prediction == taken;
+}
+
+void
+BranchPredictor::reset()
+{
+    history = 0;
+    for (auto &c : table)
+        c = SatCounter<2>();
+    statLookups = statMispredicts = 0;
+}
+
+} // namespace athena

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * gshare conditional branch predictor.
+ *
+ * Table 5 of the paper uses a perceptron predictor with a 17-cycle
+ * misprediction penalty; a well-sized gshare reproduces the relevant
+ * property for Athena's reward framework — the misprediction *rate
+ * varies with workload phase*, which is exactly the uncorrelated
+ * signal the composite reward subtracts out.
+ */
+
+#ifndef ATHENA_CPU_BRANCH_PREDICTOR_HH
+#define ATHENA_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+
+namespace athena
+{
+
+class BranchPredictor
+{
+  public:
+    /** @param table_bits log2 of the PHT size (default 16K entries). */
+    explicit BranchPredictor(unsigned table_bits = 14);
+
+    /**
+     * Predict and immediately train on the actual outcome.
+     * @return true if the prediction was correct.
+     */
+    bool predictAndTrain(std::uint64_t pc, bool taken);
+
+    void reset();
+
+    std::uint64_t statLookups = 0;
+    std::uint64_t statMispredicts = 0;
+
+  private:
+    unsigned tableBits;
+    std::uint64_t history = 0;
+    std::vector<SatCounter<2>> table;
+};
+
+} // namespace athena
+
+#endif // ATHENA_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Core timing model implementation.
+ */
+
+#include "cpu/core_model.hh"
+
+#include <algorithm>
+
+namespace athena
+{
+
+CoreModel::CoreModel(const CoreParams &params, WorkloadGenerator &wl,
+                     MemoryInterface &mem)
+    : cfg(params), workload(wl), memory(mem)
+{}
+
+Cycle
+CoreModel::retireHead()
+{
+    Cycle completion = rob.front();
+    rob.pop_front();
+    Cycle t = std::max(completion, lastRetireCycle);
+    if (t == lastRetireCycle) {
+        if (retireSlots >= cfg.width) {
+            ++t;
+            retireSlots = 1;
+        } else {
+            ++retireSlots;
+        }
+    } else {
+        retireSlots = 1;
+    }
+    lastRetireCycle = t;
+    return t;
+}
+
+Cycle
+CoreModel::step()
+{
+    // ROB occupancy: dispatching a new instruction requires the
+    // oldest one to have retired once the window is full.
+    if (rob.size() >= cfg.robSize) {
+        Cycle freed = retireHead();
+        if (freed > dispatchCycle) {
+            dispatchCycle = freed;
+            dispatchSlots = 0;
+        }
+    }
+
+    // Dispatch-width constraint.
+    if (dispatchSlots >= cfg.width) {
+        ++dispatchCycle;
+        dispatchSlots = 0;
+    }
+    ++dispatchSlots;
+    Cycle disp = dispatchCycle;
+
+    TraceRecord rec = workload.next();
+    ++stats.instructions;
+
+    Cycle completion = disp + cfg.aluLatency;
+    switch (rec.kind) {
+      case InstrKind::kAlu:
+        break;
+      case InstrKind::kBranch:
+        {
+            ++stats.branches;
+            bool correct =
+                branchPredictor.predictAndTrain(rec.pc, rec.taken);
+            if (!correct) {
+                ++stats.branchMispredicts;
+                // Redirect: no further dispatch until the branch
+                // resolves plus the refill penalty.
+                Cycle resume = completion + cfg.mispredictPenalty;
+                if (resume > dispatchCycle) {
+                    dispatchCycle = resume;
+                    dispatchSlots = 0;
+                }
+            }
+            break;
+        }
+      case InstrKind::kStore:
+        {
+            ++stats.stores;
+            memory.store(rec.pc, rec.addr, disp);
+            break;
+        }
+      case InstrKind::kLoad:
+        {
+            ++stats.loads;
+            Cycle issue = disp;
+            if (rec.dependsOnPrevLoad)
+                issue = std::max(issue, prevLoadComplete);
+
+            // MSHR occupancy: drain completed misses, then stall
+            // issue until a slot frees if still full.
+            while (!outstandingMisses.empty() &&
+                   outstandingMisses.top() <= issue) {
+                outstandingMisses.pop();
+            }
+            if (outstandingMisses.size() >= cfg.l1Mshrs) {
+                issue = outstandingMisses.top();
+                outstandingMisses.pop();
+            }
+
+            bool l1_miss = false;
+            completion = memory.load(rec.pc, rec.addr, issue, l1_miss);
+            if (l1_miss)
+                outstandingMisses.push(completion);
+            prevLoadComplete = completion;
+            // A near-term consumer gates the front end on this
+            // load's value: dependent work cannot dispatch until
+            // the data arrives.
+            if (rec.criticalConsumer && completion > dispatchCycle) {
+                dispatchCycle = completion;
+                dispatchSlots = 0;
+            }
+            break;
+        }
+    }
+
+    rob.push_back(completion);
+    frontier = std::max(frontier, completion);
+    return completion;
+}
+
+void
+CoreModel::reset()
+{
+    workload.reset();
+    branchPredictor.reset();
+    dispatchCycle = 0;
+    dispatchSlots = 0;
+    rob.clear();
+    lastRetireCycle = 0;
+    retireSlots = 0;
+    while (!outstandingMisses.empty())
+        outstandingMisses.pop();
+    prevLoadComplete = 0;
+    frontier = 0;
+    stats = CoreCounters{};
+}
+
+} // namespace athena

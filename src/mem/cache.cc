@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Cache model implementation.
+ */
+
+#include "mem/cache.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace athena
+{
+
+Cache::Cache(const CacheParams &params) : cfg(params)
+{
+    std::uint64_t n_sets =
+        cfg.sizeBytes / (static_cast<std::uint64_t>(kLineBytes) * cfg.ways);
+    // Round down to a power of two for cheap indexing; the paper's
+    // 12-way 48 KB L1 has 64 sets exactly.
+    if (n_sets == 0)
+        n_sets = 1;
+    setBits = static_cast<unsigned>(std::bit_width(n_sets) - 1);
+    sets = 1u << setBits;
+    lines.resize(static_cast<std::size_t>(sets) * cfg.ways);
+}
+
+Cache::Line *
+Cache::findLine(Addr line_num)
+{
+    Addr tag = tagOf(line_num);
+    Line *set = &lines[static_cast<std::size_t>(setIndex(line_num)) *
+                       cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_num) const
+{
+    return const_cast<Cache *>(this)->findLine(line_num);
+}
+
+CacheLookup
+Cache::access(Addr line_num, Cycle now)
+{
+    CacheLookup res;
+    Line *line = findLine(line_num);
+    if (!line) {
+        ++statMisses;
+        return res;
+    }
+    ++statHits;
+    res.hit = true;
+    res.readyAt = line->readyAt;
+    if (line->prefetched) {
+        res.firstPrefetchTouch = true;
+        res.pfMeta = line->pfMeta;
+        res.pfSlot = line->pfSlot;
+        res.pfFromDram = line->pfFromDram;
+        line->prefetched = false;
+    }
+    line->lruStamp = ++lruClock;
+    if (now > line->readyAt)
+        line->readyAt = now;
+    return res;
+}
+
+bool
+Cache::contains(Addr line_num) const
+{
+    return findLine(line_num) != nullptr;
+}
+
+bool
+Cache::touch(Addr line_num)
+{
+    Line *line = findLine(line_num);
+    if (!line)
+        return false;
+    line->lruStamp = ++lruClock;
+    return true;
+}
+
+CacheEviction
+Cache::fill(Addr line_num, Cycle now, Cycle ready_at, bool is_prefetch,
+            std::uint8_t pf_slot, std::uint64_t pf_meta,
+            bool pf_from_dram)
+{
+    CacheEviction ev;
+    ev.causedByPrefetch = is_prefetch;
+
+    if (Line *existing = findLine(line_num)) {
+        // Refill of a resident line: refresh metadata only.
+        existing->lruStamp = ++lruClock;
+        return ev;
+    }
+
+    Line *set = &lines[static_cast<std::size_t>(setIndex(line_num)) *
+                       cfg.ways];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lruStamp < victim->lruStamp)
+            victim = &set[w];
+    }
+
+    if (victim->valid) {
+        ev.evictedValid = true;
+        ev.evictedLine = (victim->tag << setBits) | setIndex(line_num);
+        if (victim->prefetched) {
+            ev.evictedUnusedPrefetch = true;
+            ev.evictedPfMeta = victim->pfMeta;
+            ev.evictedPfSlot = victim->pfSlot;
+            ev.evictedPfFromDram = victim->pfFromDram;
+            ++statUnusedPrefetchEvictions;
+        }
+    }
+
+    victim->valid = true;
+    victim->tag = tagOf(line_num);
+    victim->prefetched = is_prefetch;
+    victim->pfSlot = pf_slot;
+    victim->pfMeta = pf_meta;
+    victim->pfFromDram = pf_from_dram;
+    victim->readyAt = ready_at;
+    victim->lruStamp = ++lruClock;
+    if (is_prefetch)
+        ++statPrefetchFills;
+    (void)now;
+    return ev;
+}
+
+void
+Cache::invalidate(Addr line_num)
+{
+    if (Line *line = findLine(line_num))
+        line->valid = false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    lruClock = 0;
+    statHits = statMisses = 0;
+    statPrefetchFills = statUnusedPrefetchEvictions = 0;
+}
+
+} // namespace athena

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and
+ * prefetch-fill metadata.
+ *
+ * The model is functional + latency-annotated: lookups and fills are
+ * instantaneous state updates; the timing contribution of each level
+ * is the fixed round-trip latency from Table 5, applied by the
+ * memory system that composes the levels. Lines carry prefetch
+ * provenance so accuracy, timeliness, pollution (section 5.2.3) and
+ * the Fig. 3 off-chip-fill statistics can be measured exactly.
+ */
+
+#ifndef ATHENA_MEM_CACHE_HH
+#define ATHENA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace athena
+{
+
+/** Static configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 48 << 10;
+    unsigned ways = 12;
+    /** Round-trip latency of this level (cycles, cumulative model). */
+    Cycle latency = 5;
+};
+
+/** Result of a lookup. */
+struct CacheLookup
+{
+    bool hit = false;
+    /** The line had been brought in by a prefetch and this is the
+     *  first demand touch (prefetch "used"). */
+    bool firstPrefetchTouch = false;
+    /** Prefetcher credit token stored at fill time. */
+    std::uint64_t pfMeta = 0;
+    /** Which prefetcher (slot index) filled it. */
+    std::uint8_t pfSlot = 0;
+    /** Cycle at which the line's data is available (late prefetch). */
+    Cycle readyAt = 0;
+    /** The prefetch that brought the line was filled from DRAM. */
+    bool pfFromDram = false;
+};
+
+/** Result of a fill (eviction information). */
+struct CacheEviction
+{
+    bool evictedValid = false;
+    Addr evictedLine = 0;
+    /** Evicted line was a prefetch never touched by a demand. */
+    bool evictedUnusedPrefetch = false;
+    std::uint64_t evictedPfMeta = 0;
+    std::uint8_t evictedPfSlot = 0;
+    bool evictedPfFromDram = false;
+    /** The fill that caused this eviction was itself a prefetch. */
+    bool causedByPrefetch = false;
+};
+
+/**
+ * One cache level. Indexed by cache-line number (byte addr >> 6).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Demand lookup: updates LRU and clears the prefetched bit on a
+     * hit (first touch is reported).
+     */
+    CacheLookup access(Addr line_num, Cycle now);
+
+    /** Probe without disturbing replacement or prefetch state. */
+    bool contains(Addr line_num) const;
+
+    /**
+     * Prefetch lookup: updates LRU but does NOT clear the
+     * prefetched bit (a prefetch touching a prefetched line does
+     * not count as a demand use).
+     */
+    bool touch(Addr line_num);
+
+    /**
+     * Insert a line.
+     *
+     * @param line_num   cache-line number
+     * @param now        current cycle (LRU stamp)
+     * @param ready_at   cycle the data actually arrives
+     * @param is_prefetch fill caused by a prefetcher
+     * @param pf_slot    prefetcher slot index
+     * @param pf_meta    prefetcher credit token
+     * @param pf_from_dram the prefetch data came from main memory
+     */
+    CacheEviction fill(Addr line_num, Cycle now, Cycle ready_at,
+                       bool is_prefetch, std::uint8_t pf_slot = 0,
+                       std::uint64_t pf_meta = 0,
+                       bool pf_from_dram = false);
+
+    /** Invalidate a single line if present. */
+    void invalidate(Addr line_num);
+
+    /** Drop all contents. */
+    void reset();
+
+    const CacheParams &params() const { return cfg; }
+    unsigned numSets() const { return sets; }
+
+    // Cumulative statistics (never reset by epochs).
+    std::uint64_t statHits = 0;
+    std::uint64_t statMisses = 0;
+    std::uint64_t statPrefetchFills = 0;
+    std::uint64_t statUnusedPrefetchEvictions = 0;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool prefetched = false;
+        bool pfFromDram = false;
+        std::uint8_t pfSlot = 0;
+        std::uint64_t pfMeta = 0;
+        Cycle readyAt = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    unsigned setIndex(Addr line_num) const
+    {
+        return static_cast<unsigned>(line_num & (sets - 1));
+    }
+    Addr tagOf(Addr line_num) const { return line_num >> setBits; }
+
+    Line *findLine(Addr line_num);
+    const Line *findLine(Addr line_num) const;
+
+    CacheParams cfg;
+    unsigned sets;
+    unsigned setBits;
+    std::uint64_t lruClock = 0;
+    std::vector<Line> lines; ///< sets * ways, row-major by set.
+};
+
+} // namespace athena
+
+#endif // ATHENA_MEM_CACHE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Main memory model: DDR-like banks with an open-row policy behind a
+ * shared data bus whose per-line occupancy encodes the provisioned
+ * bandwidth (Table 5: 1 rank, 8 banks, 2 KB rows, tRCD = tRP = tCAS
+ * = 12.5 ns, 3.2 GB/s per core by default, 4 GHz core clock).
+ *
+ * Queuing delay on the shared bus is the load-bearing mechanism of
+ * the whole reproduction: inaccurate prefetch and OCP traffic
+ * occupies the bus and pushes demand completions out, which is what
+ * makes naive prefetching *degrade* performance on the adverse
+ * workloads of Fig. 1/2 and what the coordination policies trade
+ * off.
+ */
+
+#ifndef ATHENA_MEM_DRAM_HH
+#define ATHENA_MEM_DRAM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace athena
+{
+
+/** DRAM configuration. */
+struct DramParams
+{
+    /** Provisioned bandwidth per channel in GB/s. */
+    double bandwidthGBps = 3.2;
+    /** Core clock in GHz (converts ns timings to cycles). */
+    double coreGHz = 4.0;
+    unsigned banks = 8;
+    /** Row buffer size in bytes (2 KB -> 32 lines). */
+    std::uint64_t rowBytes = 2048;
+    /** tRCD = tRP = tCAS in nanoseconds. */
+    double tNs = 12.5;
+};
+
+/** Per-epoch-resettable DRAM counters. */
+struct DramCounters
+{
+    std::uint64_t demandRequests = 0;
+    std::uint64_t prefetchRequests = 0;
+    std::uint64_t ocpRequests = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    /** Total cycles the data bus was occupied. */
+    std::uint64_t busBusyCycles = 0;
+
+    std::uint64_t totalRequests() const
+    {
+        return demandRequests + prefetchRequests + ocpRequests;
+    }
+};
+
+/**
+ * One DRAM channel.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params);
+
+    /**
+     * Service a 64 B line read/fill.
+     *
+     * @param arrival   cycle the request reaches the controller
+     * @param line_num  cache-line number
+     * @param type      requester class (for accounting)
+     * @return cycle at which the data transfer completes
+     */
+    Cycle serve(Cycle arrival, Addr line_num, AccessType type);
+
+    /**
+     * Peek at the queueing headroom: cycles until the data bus is
+     * free relative to @p now (0 when idle). Used by
+     * bandwidth-aware components (Pythia's reward, HPAC features).
+     */
+    Cycle busBacklog(Cycle now) const
+    {
+        return busNextFree > now ? busNextFree - now : 0;
+    }
+
+    /** Data-bus occupancy per 64 B transfer, in cycles. */
+    double cyclesPerLine() const { return lineCycles; }
+
+    /** Counters accumulated since the last takeCounters(). */
+    const DramCounters &counters() const { return window; }
+
+    /** Return and reset the accumulation window (epoch sampling). */
+    DramCounters takeCounters();
+
+    /** Lifetime counters. */
+    const DramCounters &lifetime() const { return total; }
+
+    void reset();
+
+    const DramParams &params() const { return cfg; }
+
+  private:
+    struct Bank
+    {
+        Cycle busyUntil = 0;
+        Addr openRow = ~0ull;
+    };
+
+    DramParams cfg;
+    double lineCycles;  ///< Bus occupancy per line.
+    Cycle tCycles;      ///< tRCD = tRP = tCAS in cycles.
+    Cycle busNextFree = 0;
+    std::array<Bank, 32> bankState;
+    unsigned bankCount;
+
+    DramCounters window;
+    DramCounters total;
+};
+
+} // namespace athena
+
+#endif // ATHENA_MEM_DRAM_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * OCP factory and kind names.
+ */
+
+#include "ocp/ocp.hh"
+
+#include "ocp/hmp.hh"
+#include "ocp/popet.hh"
+#include "ocp/ttp.hh"
+
+namespace athena
+{
+
+const char *
+ocpKindName(OcpKind kind)
+{
+    switch (kind) {
+      case OcpKind::kNone:  return "none";
+      case OcpKind::kPopet: return "popet";
+      case OcpKind::kHmp:   return "hmp";
+      case OcpKind::kTtp:   return "ttp";
+    }
+    return "?";
+}
+
+std::unique_ptr<OffChipPredictor>
+makeOcp(OcpKind kind)
+{
+    switch (kind) {
+      case OcpKind::kNone:
+        return nullptr;
+      case OcpKind::kPopet:
+        return std::make_unique<PopetPredictor>();
+      case OcpKind::kHmp:
+        return std::make_unique<HmpPredictor>();
+      case OcpKind::kTtp:
+        return std::make_unique<TtpPredictor>();
+    }
+    return nullptr;
+}
+
+} // namespace athena

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Off-chip predictor (OCP) interface.
+ *
+ * An OCP makes a *binary* prediction per demand load with a known
+ * cacheline address: will this request miss every on-chip cache and
+ * go to main memory? On a positive prediction, the memory system
+ * launches a speculative request directly to the memory controller
+ * (after the OCP request issue latency), hiding the on-chip lookup
+ * latency from the off-chip critical path (Hermes, MICRO 2022).
+ *
+ * Predictors that need hierarchy visibility (TTP tracks resident
+ * tags) receive fill/eviction callbacks.
+ */
+
+#ifndef ATHENA_OCP_OCP_HH
+#define ATHENA_OCP_OCP_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace athena
+{
+
+class OffChipPredictor
+{
+  public:
+    virtual ~OffChipPredictor() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Predict whether the load at (pc, addr) will go off-chip. */
+    virtual bool predict(std::uint64_t pc, Addr addr) = 0;
+
+    /** Train with the resolved outcome of the load. */
+    virtual void train(std::uint64_t pc, Addr addr,
+                       bool went_offchip) = 0;
+
+    /** A line became resident on-chip (any level). */
+    virtual void onFill(Addr line_num) { (void)line_num; }
+
+    /** A line left the chip (evicted from the LLC). */
+    virtual void onEvict(Addr line_num) { (void)line_num; }
+
+    virtual void reset() = 0;
+
+    /** Metadata budget in bits (Table 8 accounting). */
+    virtual std::size_t storageBits() const = 0;
+};
+
+/** Known OCP kinds, for factory construction. */
+enum class OcpKind : std::uint8_t
+{
+    kNone,
+    kPopet,
+    kHmp,
+    kTtp,
+};
+
+const char *ocpKindName(OcpKind kind);
+
+/** Factory. kNone returns nullptr. */
+std::unique_ptr<OffChipPredictor> makeOcp(OcpKind kind);
+
+} // namespace athena
+
+#endif // ATHENA_OCP_OCP_HH

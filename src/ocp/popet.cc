@@ -1,0 +1,76 @@
+/**
+ * @file
+ * POPET implementation.
+ */
+
+#include "ocp/popet.hh"
+
+#include "common/hashing.hh"
+
+namespace athena
+{
+
+std::array<std::uint16_t, PopetPredictor::kFeatures>
+PopetPredictor::featureIndices(std::uint64_t pc, Addr addr) const
+{
+    unsigned line_off = pageLineOffset(addr);
+    unsigned byte_off = static_cast<unsigned>(addr & (kLineBytes - 1));
+    Addr page = pageNumber(addr);
+
+    return {
+        static_cast<std::uint16_t>(mix64(pc) % kTableSize),
+        static_cast<std::uint16_t>(hashCombine(pc, line_off) %
+                                   kTableSize),
+        static_cast<std::uint16_t>(hashCombine(pc, byte_off) %
+                                   kTableSize),
+        static_cast<std::uint16_t>(mix64(page) % kTableSize),
+        static_cast<std::uint16_t>(mix64(lastPcsHash) % kTableSize),
+    };
+}
+
+int
+PopetPredictor::sum(
+    const std::array<std::uint16_t, kFeatures> &idx) const
+{
+    int s = 0;
+    for (unsigned f = 0; f < kFeatures; ++f)
+        s += weights[f][idx[f]].raw();
+    return s;
+}
+
+bool
+PopetPredictor::predict(std::uint64_t pc, Addr addr)
+{
+    auto idx = featureIndices(pc, addr);
+    bool off_chip = sum(idx) >= kActivationThreshold;
+    // Fold the PC into the history *after* prediction so the
+    // prediction uses the preceding context, as in Hermes.
+    lastPcsHash = hashCombine(lastPcsHash, pc);
+    return off_chip;
+}
+
+void
+PopetPredictor::train(std::uint64_t pc, Addr addr, bool went_offchip)
+{
+    auto idx = featureIndices(pc, addr);
+    int s = sum(idx);
+    bool predicted = s >= kActivationThreshold;
+    if (predicted != went_offchip ||
+        (s < kTrainingThreshold && s > -kTrainingThreshold)) {
+        int dir = went_offchip ? 1 : -1;
+        for (unsigned f = 0; f < kFeatures; ++f)
+            weights[f][idx[f]].add(dir);
+    }
+}
+
+void
+PopetPredictor::reset()
+{
+    for (auto &table : weights) {
+        for (auto &w : table)
+            w = SignedSatCounter<6>{};
+    }
+    lastPcsHash = 0;
+}
+
+} // namespace athena

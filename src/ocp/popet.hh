@@ -1,0 +1,69 @@
+/**
+ * @file
+ * POPET: perceptron-based off-chip predictor (Hermes; Bera et al.,
+ * MICRO 2022).
+ *
+ * A hashed-perceptron over five program features. Each feature
+ * indexes a dedicated table of signed weights; the prediction is
+ * positive (off-chip) when the summed weights reach the activation
+ * threshold. Training follows the standard perceptron rule: update
+ * on misprediction or when the magnitude of the sum is below the
+ * training threshold. This matches the configuration evaluated in
+ * the Athena paper (4 KB, Table 8).
+ */
+
+#ifndef ATHENA_OCP_POPET_HH
+#define ATHENA_OCP_POPET_HH
+
+#include <array>
+
+#include "common/sat_counter.hh"
+#include "ocp/ocp.hh"
+
+namespace athena
+{
+
+class PopetPredictor : public OffChipPredictor
+{
+  public:
+    PopetPredictor() { reset(); }
+
+    const char *name() const override { return "popet"; }
+
+    bool predict(std::uint64_t pc, Addr addr) override;
+    void train(std::uint64_t pc, Addr addr, bool went_offchip) override;
+
+    void reset() override;
+
+    std::size_t
+    storageBits() const override
+    {
+        // 5 tables x 1024 entries x 6-bit weights + last-PCs reg.
+        return kFeatures * kTableSize * 6 + 64;
+    }
+
+    /** Activation threshold tau_act (exposed for tests). */
+    static constexpr int kActivationThreshold = 2;
+    /** Training threshold tau_train. */
+    static constexpr int kTrainingThreshold = 14;
+
+  private:
+    static constexpr unsigned kFeatures = 5;
+    static constexpr unsigned kTableSize = 1024;
+
+    /** Compute the five feature table indices for (pc, addr). */
+    std::array<std::uint16_t, kFeatures>
+    featureIndices(std::uint64_t pc, Addr addr) const;
+
+    int sum(const std::array<std::uint16_t, kFeatures> &idx) const;
+
+    std::array<std::array<SignedSatCounter<6>, kTableSize>, kFeatures>
+        weights;
+
+    /** Rolling hash of the last four load PCs (feature 5). */
+    std::uint64_t lastPcsHash = 0;
+};
+
+} // namespace athena
+
+#endif // ATHENA_OCP_POPET_HH

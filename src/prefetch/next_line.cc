@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Next-line prefetcher implementation.
+ */
+
+#include "prefetch/next_line.hh"
+
+namespace athena
+{
+
+void
+NextLinePrefetcher::observe(const PrefetchTrigger &trigger,
+                            std::vector<PrefetchCandidate> &out)
+{
+    Addr line = lineNumber(trigger.addr);
+    for (unsigned d = 1; d <= degree(); ++d)
+        out.push_back({line + d, 0});
+}
+
+} // namespace athena

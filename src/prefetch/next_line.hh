@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Next-N-line prefetcher: the simplest possible reference
+ * implementation, used by tests and the quickstart example as a
+ * known-good baseline.
+ */
+
+#ifndef ATHENA_PREFETCH_NEXT_LINE_HH
+#define ATHENA_PREFETCH_NEXT_LINE_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace athena
+{
+
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(CacheLevel lvl = CacheLevel::kL2C,
+                                unsigned max_degree = 4)
+        : Prefetcher(max_degree), lvl(lvl)
+    {}
+
+    const char *name() const override { return "next_line"; }
+    CacheLevel level() const override { return lvl; }
+
+    void observe(const PrefetchTrigger &trigger,
+                 std::vector<PrefetchCandidate> &out) override;
+
+    void reset() override {}
+    std::size_t storageBits() const override { return 0; }
+
+  private:
+    CacheLevel lvl;
+};
+
+} // namespace athena
+
+#endif // ATHENA_PREFETCH_NEXT_LINE_HH

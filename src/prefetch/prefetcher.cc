@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Prefetcher factory and kind names.
+ */
+
+#include "prefetch/prefetcher.hh"
+
+#include "prefetch/berti.hh"
+#include "prefetch/ipcp.hh"
+#include "prefetch/mlop.hh"
+#include "prefetch/next_line.hh"
+#include "prefetch/pythia.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/spp_ppf.hh"
+#include "prefetch/stride.hh"
+
+namespace athena
+{
+
+const char *
+prefetcherKindName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::kNone:     return "none";
+      case PrefetcherKind::kNextLine: return "next_line";
+      case PrefetcherKind::kStride:   return "stride";
+      case PrefetcherKind::kIpcp:     return "ipcp";
+      case PrefetcherKind::kBerti:    return "berti";
+      case PrefetcherKind::kPythia:   return "pythia";
+      case PrefetcherKind::kSppPpf:   return "spp_ppf";
+      case PrefetcherKind::kMlop:     return "mlop";
+      case PrefetcherKind::kSms:      return "sms";
+    }
+    return "?";
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind, std::uint64_t seed,
+               CacheLevel level)
+{
+    switch (kind) {
+      case PrefetcherKind::kNone:
+        return nullptr;
+      case PrefetcherKind::kNextLine:
+        return std::make_unique<NextLinePrefetcher>(level);
+      case PrefetcherKind::kStride:
+        return std::make_unique<StridePrefetcher>(level);
+      case PrefetcherKind::kIpcp:
+        return std::make_unique<IpcpPrefetcher>();
+      case PrefetcherKind::kBerti:
+        return std::make_unique<BertiPrefetcher>();
+      case PrefetcherKind::kPythia:
+        return std::make_unique<PythiaPrefetcher>(seed);
+      case PrefetcherKind::kSppPpf:
+        return std::make_unique<SppPpfPrefetcher>();
+      case PrefetcherKind::kMlop:
+        return std::make_unique<MlopPrefetcher>();
+      case PrefetcherKind::kSms:
+        return std::make_unique<SmsPrefetcher>();
+    }
+    return nullptr;
+}
+
+} // namespace athena

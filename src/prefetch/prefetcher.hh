@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Hardware prefetcher interface.
+ *
+ * Prefetchers observe demand accesses at their cache level and emit
+ * prefetch candidates. The memory system issues the candidates
+ * (subject to the coordination policy's enable/degree decisions),
+ * tags the filled lines with the prefetcher's credit token, and
+ * feeds usage feedback back through onPrefetchUsed /
+ * onPrefetchUseless — which is how Pythia's RL reward and PPF's
+ * perceptron training close their loops.
+ */
+
+#ifndef ATHENA_PREFETCH_PREFETCHER_HH
+#define ATHENA_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace athena
+{
+
+/** One prefetch candidate emitted by a prefetcher. */
+struct PrefetchCandidate
+{
+    Addr lineNum = 0;      ///< Target cache-line number.
+    std::uint64_t meta = 0; ///< Credit token echoed in feedback.
+};
+
+/** Context of the demand access that triggers training/prediction. */
+struct PrefetchTrigger
+{
+    std::uint64_t pc = 0;
+    Addr addr = 0;    ///< Byte address.
+    bool hit = false; ///< Hit at the prefetcher's level.
+    Cycle cycle = 0;
+};
+
+/**
+ * Base class of all prefetchers.
+ */
+class Prefetcher
+{
+  public:
+    /** @param max_degree prefetches per trigger at full throttle. */
+    explicit Prefetcher(unsigned max_degree)
+        : maxDeg(max_degree), currentDegree(max_degree)
+    {}
+    virtual ~Prefetcher() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Cache level this prefetcher trains on and fills into. */
+    virtual CacheLevel level() const = 0;
+
+    /**
+     * Observe a demand access; append up to degree() candidates.
+     */
+    virtual void observe(const PrefetchTrigger &trigger,
+                         std::vector<PrefetchCandidate> &out) = 0;
+
+    /** A demand touched a line this prefetcher brought in. */
+    virtual void
+    onPrefetchUsed(std::uint64_t meta, bool timely)
+    {
+        (void)meta;
+        (void)timely;
+    }
+
+    /** A prefetched line was evicted without any demand touch. */
+    virtual void onPrefetchUseless(std::uint64_t meta) { (void)meta; }
+
+    /**
+     * An emitted candidate was never issued (coordination gating,
+     * per-request filtering, or already resident). Learning
+     * prefetchers must treat this as a neutral outcome, not an
+     * inaccuracy — the prediction was never tested.
+     */
+    virtual void onPrefetchDropped(std::uint64_t meta)
+    {
+        (void)meta;
+    }
+
+    /**
+     * End-of-epoch notification with the observed DRAM bandwidth
+     * utilization in [0, 1] (Pythia's bandwidth-aware reward).
+     */
+    virtual void onEpochEnd(double bandwidth_usage)
+    {
+        (void)bandwidth_usage;
+    }
+
+    /** Clear all learned state. */
+    virtual void reset() = 0;
+
+    /** Metadata budget in bits (Table 8 accounting). */
+    virtual std::size_t storageBits() const = 0;
+
+    /** dmax in Algorithm 1. */
+    unsigned maxDegree() const { return maxDeg; }
+
+    /** Current throttled degree (set by the coordination policy). */
+    unsigned degree() const { return currentDegree; }
+
+    void
+    setDegree(unsigned d)
+    {
+        currentDegree = d > maxDeg ? maxDeg : d;
+    }
+
+  private:
+    unsigned maxDeg;
+    unsigned currentDegree;
+};
+
+/** Known prefetcher kinds, for factory construction. */
+enum class PrefetcherKind : std::uint8_t
+{
+    kNone,
+    kNextLine,
+    kStride,
+    kIpcp,
+    kBerti,
+    kPythia,
+    kSppPpf,
+    kMlop,
+    kSms,
+};
+
+/** Printable name for a kind. */
+const char *prefetcherKindName(PrefetcherKind kind);
+
+/**
+ * Factory. kNone returns nullptr. @p level is honored by the
+ * level-flexible prefetchers (next-line, stride); the published
+ * designs (IPCP/Berti at L1D, the rest at L2C) keep their fixed
+ * level.
+ */
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind, std::uint64_t seed = 1,
+               CacheLevel level = CacheLevel::kL2C);
+
+} // namespace athena
+
+#endif // ATHENA_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * ExperimentRunner implementation.
+ */
+
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "common/stats.hh"
+
+namespace athena
+{
+
+namespace
+{
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+long
+bandwidthKey(double gbps)
+{
+    return std::lround(gbps * 100.0);
+}
+
+} // namespace
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(hw ? hw : 4, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+}
+
+ExperimentRunner::ExperimentRunner()
+{
+    simInstructions = envOr("ATHENA_SIM_INSTR", 800000);
+    warmupInstructions = envOr("ATHENA_WARMUP_INSTR", 200000);
+    mcSimInstructions = envOr("ATHENA_MC_INSTR", 250000);
+    mcWarmupInstructions = envOr("ATHENA_MC_WARMUP", 60000);
+}
+
+SimResult
+ExperimentRunner::runOne(const SystemConfig &config,
+                         const WorkloadSpec &spec) const
+{
+    Simulator sim(config, {spec});
+    return sim.run(simInstructions, warmupInstructions);
+}
+
+double
+ExperimentRunner::baselineIpc(const SystemConfig &config,
+                              const WorkloadSpec &spec)
+{
+    auto key = std::make_pair(spec.name,
+                              bandwidthKey(config.bandwidthGBps));
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = baselineCache.find(key);
+        if (it != baselineCache.end())
+            return it->second;
+    }
+    SystemConfig base = config;
+    base.policy = PolicyKind::kAllOff;
+    double ipc = runOne(base, spec).ipc();
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    baselineCache[key] = ipc;
+    return ipc;
+}
+
+std::vector<SpeedupRow>
+ExperimentRunner::speedups(const SystemConfig &config,
+                           const std::vector<WorkloadSpec> &specs)
+{
+    std::vector<SpeedupRow> rows(specs.size());
+    parallelFor(specs.size(), [&](std::size_t i) {
+        const WorkloadSpec &spec = specs[i];
+        double base = baselineIpc(config, spec);
+        SimResult res = runOne(config, spec);
+        SpeedupRow row;
+        row.workload = spec.name;
+        row.suite = spec.suite;
+        row.baselineIpc = base;
+        row.speedup = base > 0.0 ? res.ipc() / base : 1.0;
+        row.result = std::move(res);
+        rows[i] = std::move(row);
+    });
+    return rows;
+}
+
+std::set<std::string>
+ExperimentRunner::adverseSet(const SystemConfig &base_config,
+                             const std::vector<WorkloadSpec> &specs)
+{
+    auto key = std::make_pair(base_config.label,
+                              bandwidthKey(base_config.bandwidthGBps));
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = adverseCache.find(key);
+        if (it != adverseCache.end())
+            return it->second;
+    }
+    SystemConfig pf_only = base_config;
+    pf_only.policy = PolicyKind::kPfOnly;
+    auto rows = speedups(pf_only, specs);
+    std::set<std::string> adverse;
+    for (const auto &row : rows) {
+        if (row.speedup < 1.0)
+            adverse.insert(row.workload);
+    }
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    adverseCache[key] = adverse;
+    return adverse;
+}
+
+CategorySummary
+ExperimentRunner::summarize(const std::vector<SpeedupRow> &rows,
+                            const std::set<std::string> &adverse)
+{
+    std::vector<double> spec, parsec, ligra, cvp, adv, fri, all;
+    for (const auto &row : rows) {
+        all.push_back(row.speedup);
+        switch (row.suite) {
+          case Suite::kSpec06:
+          case Suite::kSpec17:
+            spec.push_back(row.speedup);
+            break;
+          case Suite::kParsec:
+            parsec.push_back(row.speedup);
+            break;
+          case Suite::kLigra:
+            ligra.push_back(row.speedup);
+            break;
+          case Suite::kCvp:
+            cvp.push_back(row.speedup);
+            break;
+          default:
+            break;
+        }
+        if (adverse.count(row.workload))
+            adv.push_back(row.speedup);
+        else
+            fri.push_back(row.speedup);
+    }
+    CategorySummary s;
+    s.spec = geomean(spec);
+    s.parsec = geomean(parsec);
+    s.ligra = geomean(ligra);
+    s.cvp = geomean(cvp);
+    s.adverse = geomean(adv);
+    s.friendly = geomean(fri);
+    s.overall = geomean(all);
+    return s;
+}
+
+double
+ExperimentRunner::mixSpeedup(const SystemConfig &config,
+                             const std::vector<WorkloadSpec> &mix_specs)
+{
+    SystemConfig base = config;
+    base.policy = PolicyKind::kAllOff;
+
+    Simulator base_sim(base, mix_specs);
+    SimResult base_res =
+        base_sim.run(mcSimInstructions, mcWarmupInstructions);
+
+    Simulator sim(config, mix_specs);
+    SimResult res = sim.run(mcSimInstructions, mcWarmupInstructions);
+
+    std::vector<double> per_core;
+    for (std::size_t c = 0; c < res.cores.size(); ++c) {
+        double b = base_res.cores[c].ipc;
+        per_core.push_back(b > 0.0 ? res.cores[c].ipc / b : 1.0);
+    }
+    return geomean(per_core);
+}
+
+} // namespace athena

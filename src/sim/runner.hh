@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ExperimentRunner: drives fleets of simulations and reduces them
+ * into the paper's reporting format — geomean speedup over the
+ * no-prefetching / no-OCP baseline, broken down by suite and by the
+ * prefetcher-adverse / prefetcher-friendly split of Fig. 1.
+ *
+ * Baseline runs are cached (the baseline depends only on the
+ * workload, bandwidth, and core count) and independent workloads
+ * run in parallel across hardware threads. Simulation length is
+ * controlled by the ATHENA_SIM_INSTR / ATHENA_WARMUP_INSTR
+ * environment variables so the benches scale from smoke-test to
+ * full-fidelity.
+ */
+
+#ifndef ATHENA_SIM_RUNNER_HH
+#define ATHENA_SIM_RUNNER_HH
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "trace/mixes.hh"
+#include "trace/zoo.hh"
+
+namespace athena
+{
+
+/** One workload's speedup under some configuration. */
+struct SpeedupRow
+{
+    std::string workload;
+    Suite suite = Suite::kSpec06;
+    double speedup = 1.0;
+    SimResult result;     ///< Full diagnostics of the policy run.
+    double baselineIpc = 0.0;
+};
+
+/** Geomean speedups per reporting category (Fig. 7 etc.). */
+struct CategorySummary
+{
+    double spec = 1.0;
+    double parsec = 1.0;
+    double ligra = 1.0;
+    double cvp = 1.0;
+    double adverse = 1.0;
+    double friendly = 1.0;
+    double overall = 1.0;
+};
+
+/** Run fn(i) for i in [0, n) across hardware threads. */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+class ExperimentRunner
+{
+  public:
+    ExperimentRunner();
+
+    /** Measured / warmup instructions per core (env-overridable). */
+    std::uint64_t simInstructions;
+    std::uint64_t warmupInstructions;
+    /** Reduced lengths used for multi-core sweeps. */
+    std::uint64_t mcSimInstructions;
+    std::uint64_t mcWarmupInstructions;
+
+    /** Run one workload under one configuration. */
+    SimResult runOne(const SystemConfig &config,
+                     const WorkloadSpec &spec) const;
+
+    /**
+     * Baseline (no prefetch, no OCP) IPC for a workload at the
+     * config's bandwidth; cached across calls.
+     */
+    double baselineIpc(const SystemConfig &config,
+                       const WorkloadSpec &spec);
+
+    /** Speedups of a config across a workload list (parallel). */
+    std::vector<SpeedupRow>
+    speedups(const SystemConfig &config,
+             const std::vector<WorkloadSpec> &specs);
+
+    /**
+     * Classify workloads by the sign of the prefetcher-only
+     * speedup under @p base_config (Fig. 1's split). Cached.
+     */
+    std::set<std::string>
+    adverseSet(const SystemConfig &base_config,
+               const std::vector<WorkloadSpec> &specs);
+
+    /** Reduce rows into the per-category geomeans. */
+    static CategorySummary
+    summarize(const std::vector<SpeedupRow> &rows,
+              const std::set<std::string> &adverse);
+
+    /**
+     * Multi-core mix speedup: geomean over cores of per-core IPC
+     * relative to the same mix under the all-off policy.
+     */
+    double mixSpeedup(const SystemConfig &config,
+                      const std::vector<WorkloadSpec> &mix_specs);
+
+  private:
+    std::mutex cacheMutex;
+    /** (workload, bandwidth-key) -> baseline IPC. */
+    std::map<std::pair<std::string, long>, double> baselineCache;
+    /** (config label, bandwidth-key) -> adverse names. */
+    std::map<std::pair<std::string, long>, std::set<std::string>>
+        adverseCache;
+};
+
+} // namespace athena
+
+#endif // ATHENA_SIM_RUNNER_HH

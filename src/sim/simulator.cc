@@ -1,0 +1,665 @@
+/**
+ * @file
+ * Simulator implementation.
+ */
+
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "athena/agent.hh"
+#include "coord/simple.hh"
+#include "coord/tlp.hh"
+
+namespace athena
+{
+
+namespace
+{
+
+/** Slot marker for fills that must not generate feedback. */
+constexpr std::uint8_t kNoFeedbackSlot = 0xff;
+
+std::unique_ptr<CoordinationPolicy>
+makePolicy(const SystemConfig &cfg, unsigned num_prefetchers)
+{
+    switch (cfg.policy) {
+      case PolicyKind::kNaive:
+        return makeNaivePolicy();
+      case PolicyKind::kAllOff:
+        return makeAllOffPolicy();
+      case PolicyKind::kPfOnly:
+        return makePfOnlyPolicy();
+      case PolicyKind::kOcpOnly:
+        return makeOcpOnlyPolicy();
+      case PolicyKind::kTlp:
+        return std::make_unique<TlpPolicy>();
+      case PolicyKind::kHpac:
+        return std::make_unique<HpacPolicy>(cfg.hpac);
+      case PolicyKind::kMab:
+        return std::make_unique<MabPolicy>(num_prefetchers, cfg.mab);
+      case PolicyKind::kAthena:
+        return std::make_unique<AthenaAgent>(cfg.athena);
+    }
+    throw std::logic_error("unknown policy kind");
+}
+
+} // namespace
+
+/** Adapter binding one core's memory traffic to the simulator. */
+class CoreMemAdapter : public MemoryInterface
+{
+  public:
+    CoreMemAdapter(Simulator &sim, unsigned core)
+        : sim(sim), core(core)
+    {}
+
+    Cycle
+    load(std::uint64_t pc, Addr addr, Cycle issue,
+         bool &l1_miss) override
+    {
+        return sim.doLoad(core, pc, addr, issue, l1_miss);
+    }
+
+    void
+    store(std::uint64_t pc, Addr addr, Cycle cycle) override
+    {
+        sim.doStore(core, pc, addr, cycle);
+    }
+
+  private:
+    Simulator &sim;
+    unsigned core;
+};
+
+/** All per-core state. */
+struct Simulator::CoreCtx
+{
+    std::unique_ptr<WorkloadGenerator> workload;
+    std::unique_ptr<CoreMemAdapter> adapter;
+    std::unique_ptr<CoreModel> core;
+
+    Cache l1;
+    Cache l2;
+
+    /** Prefetcher slots (at most kMaxPrefetchers). */
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+    std::unique_ptr<OffChipPredictor> ocp;
+    std::unique_ptr<CoordinationPolicy> policy;
+
+    CoordDecision decision; ///< Applied for the current epoch.
+
+    /** Per-epoch window counters (policy telemetry). */
+    EpochStats window;
+    std::uint64_t epochStartInstr = 0;
+    Cycle epochStartCycle = 0;
+    CoreCounters epochStartCounters;
+    std::uint64_t lastBusBusy = 0; ///< Global bus-busy snapshot.
+    DramCounters lastDram;         ///< Global DRAM count snapshot.
+
+    /** Prefetch-induced LLC pollution tracker (section 5.2.3). */
+    BloomFilter pollutionBloom{4096, 2};
+
+    /** Cumulative diagnostics. */
+    std::array<PrefetcherSlotStats, kMaxPrefetchers> pfStats{};
+    std::uint64_t ocpPredictions = 0;
+    std::uint64_t ocpCorrect = 0;
+    std::uint64_t llcMissesTotal = 0;
+    std::uint64_t llcMissLatencyTotal = 0;
+
+    std::string workloadName;
+
+    CoreCtx(const CacheParams &l1p, const CacheParams &l2p)
+        : l1(l1p), l2(l2p)
+    {}
+};
+
+Simulator::Simulator(const SystemConfig &config,
+                     const std::vector<WorkloadSpec> &workloads)
+    : cfg(config)
+{
+    if (workloads.size() != cfg.cores) {
+        throw std::invalid_argument(
+            "workload count must equal core count");
+    }
+
+    llc = std::make_unique<Cache>(llcParams(cfg.cores));
+    dram = std::make_unique<Dram>(dramParams(cfg.bandwidthGBps));
+
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        auto ctx = std::make_unique<CoreCtx>(l1dParams(), l2cParams());
+        ctx->workloadName = workloads[c].name;
+        ctx->workload = makeWorkload(workloads[c]);
+
+        // Prefetcher slots in a fixed order: L1D first, then L2Cs.
+        if (cfg.l1dPf != PrefetcherKind::kNone) {
+            ctx->prefetchers.push_back(makePrefetcher(
+                cfg.l1dPf, cfg.seed + c, CacheLevel::kL1D));
+        }
+        if (cfg.l2cPf != PrefetcherKind::kNone) {
+            ctx->prefetchers.push_back(
+                makePrefetcher(cfg.l2cPf, cfg.seed + 17 * (c + 1),
+                               CacheLevel::kL2C));
+        }
+        if (cfg.l2cPf2 != PrefetcherKind::kNone) {
+            ctx->prefetchers.push_back(
+                makePrefetcher(cfg.l2cPf2, cfg.seed + 31 * (c + 1),
+                               CacheLevel::kL2C));
+        }
+        if (ctx->prefetchers.size() > kMaxPrefetchers)
+            throw std::invalid_argument("too many prefetchers");
+
+        ctx->ocp = makeOcp(cfg.ocp);
+        ctx->policy = makePolicy(
+            cfg, static_cast<unsigned>(ctx->prefetchers.size()));
+        ctx->adapter = std::make_unique<CoreMemAdapter>(*this, c);
+        ctx->core = std::make_unique<CoreModel>(
+            cfg.core, *ctx->workload, *ctx->adapter);
+        // Prime the knobs with the policy's decision for an empty
+        // epoch so static policies (e.g. all-off) take effect from
+        // cycle 0; learning policies treat the empty epoch as their
+        // cold start.
+        ctx->decision = ctx->policy->onEpochEnd(EpochStats{});
+        coreCtxs.push_back(std::move(ctx));
+    }
+}
+
+Simulator::~Simulator() = default;
+
+CoordinationPolicy &
+Simulator::policy(unsigned core)
+{
+    return *coreCtxs.at(core)->policy;
+}
+
+void
+Simulator::dispatchPrefetchFeedbackUsed(unsigned core,
+                                        const CacheLookup &res,
+                                        Cycle demand_cycle)
+{
+    CoreCtx &cc = *coreCtxs[core];
+    if (!res.firstPrefetchTouch || res.pfSlot == kNoFeedbackSlot)
+        return;
+    if (res.pfSlot >= cc.prefetchers.size())
+        return;
+    bool timely = res.readyAt <= demand_cycle;
+    PrefetcherSlotStats &ps = cc.pfStats[res.pfSlot];
+    ++ps.used;
+    if (timely)
+        ++ps.usedTimely;
+    ++cc.window.pfUsed[res.pfSlot];
+    cc.prefetchers[res.pfSlot]->onPrefetchUsed(res.pfMeta, timely);
+}
+
+void
+Simulator::handleLlcEviction(unsigned core, const CacheEviction &ev)
+{
+    CoreCtx &cc = *coreCtxs[core];
+    if (!ev.evictedValid)
+        return;
+    // A line leaving the LLC leaves the chip, as far as the OCP's
+    // residency tracking is concerned.
+    if (cc.ocp)
+        cc.ocp->onEvict(ev.evictedLine);
+    // Prefetch-caused evictions feed the pollution tracker of the
+    // core whose prefetch caused the fill.
+    if (ev.causedByPrefetch)
+        cc.pollutionBloom.insert(ev.evictedLine);
+}
+
+void
+Simulator::triggerLevel(unsigned core, CacheLevel level,
+                        std::uint64_t pc, Addr addr, bool hit,
+                        Cycle cycle)
+{
+    CoreCtx &cc = *coreCtxs[core];
+    for (unsigned slot = 0; slot < cc.prefetchers.size(); ++slot) {
+        Prefetcher &pf = *cc.prefetchers[slot];
+        if (pf.level() != level)
+            continue;
+        // A gated prefetcher still *trains* on the demand stream
+        // (its tables are hardware that observes lookups); only
+        // issuing is suppressed. Without this, a learning
+        // coordinator that disables a learning prefetcher starves
+        // it of training and can never discover that re-enabling
+        // it would help.
+        bool gated = !cc.decision.pfEnabled(slot) || pf.degree() == 0;
+        scratch.clear();
+        pf.observe({pc, addr, hit, cycle}, scratch);
+        for (const PrefetchCandidate &cand : scratch) {
+            if (gated)
+                pf.onPrefetchDropped(cand.meta);
+            else
+                issuePrefetch(core, slot, cand, pc, cycle);
+        }
+    }
+}
+
+void
+Simulator::issuePrefetch(unsigned core, unsigned slot,
+                         const PrefetchCandidate &cand,
+                         std::uint64_t trigger_pc, Cycle cycle)
+{
+    CoreCtx &cc = *coreCtxs[core];
+    Prefetcher &pf = *cc.prefetchers[slot];
+    Addr line = cand.lineNum;
+
+    if (cc.policy->filterPrefetch(pf.level(), trigger_pc,
+                                  lineBase(line))) {
+        pf.onPrefetchDropped(cand.meta);
+        return;
+    }
+
+    const Cycle l1_lat = cc.l1.params().latency;
+    const Cycle l2_lat = l1_lat + cc.l2.params().latency;
+    const Cycle llc_lat = l2_lat + llc->params().latency;
+
+    bool from_dram = false;
+    Cycle ready;
+
+    if (pf.level() == CacheLevel::kL1D) {
+        if (cc.l1.contains(line)) {
+            pf.onPrefetchDropped(cand.meta); // already resident
+            return;
+        }
+        if (cc.l2.touch(line)) {
+            ready = cycle + l2_lat;
+        } else if (llc->touch(line)) {
+            ready = cycle + llc_lat;
+        } else {
+            Cycle done =
+                dram->serve(cycle + llc_lat, line,
+                            AccessType::kPrefetch);
+            ready = done;
+            from_dram = true;
+            CacheEviction ev = llc->fill(line, cycle, ready, true,
+                                         kNoFeedbackSlot, 0, true);
+            handleLlcEviction(core, ev);
+            if (cc.ocp)
+                cc.ocp->onFill(line);
+        }
+        // Fill the intermediate L2 on an off-chip prefetch path.
+        if (from_dram) {
+            cc.l2.fill(line, cycle, ready, true, kNoFeedbackSlot, 0,
+                       true);
+        }
+        CacheEviction ev =
+            cc.l1.fill(line, cycle, ready, true,
+                       static_cast<std::uint8_t>(slot), cand.meta,
+                       from_dram);
+        if (ev.evictedUnusedPrefetch &&
+            ev.evictedPfSlot < cc.prefetchers.size()) {
+            PrefetcherSlotStats &eps = cc.pfStats[ev.evictedPfSlot];
+            ++eps.uselessEvictions;
+            if (ev.evictedPfFromDram)
+                ++eps.fillsFromDramUnused;
+            cc.prefetchers[ev.evictedPfSlot]->onPrefetchUseless(
+                ev.evictedPfMeta);
+        }
+    } else { // kL2C
+        if (cc.l2.contains(line)) {
+            pf.onPrefetchDropped(cand.meta);
+            return;
+        }
+        if (llc->touch(line)) {
+            ready = cycle + llc_lat;
+        } else {
+            Cycle done =
+                dram->serve(cycle + llc_lat, line,
+                            AccessType::kPrefetch);
+            ready = done;
+            from_dram = true;
+            CacheEviction ev = llc->fill(line, cycle, ready, true,
+                                         kNoFeedbackSlot, 0, true);
+            handleLlcEviction(core, ev);
+            if (cc.ocp)
+                cc.ocp->onFill(line);
+        }
+        CacheEviction ev =
+            cc.l2.fill(line, cycle, ready, true,
+                       static_cast<std::uint8_t>(slot), cand.meta,
+                       from_dram);
+        if (ev.evictedUnusedPrefetch &&
+            ev.evictedPfSlot < cc.prefetchers.size()) {
+            PrefetcherSlotStats &eps = cc.pfStats[ev.evictedPfSlot];
+            ++eps.uselessEvictions;
+            if (ev.evictedPfFromDram)
+                ++eps.fillsFromDramUnused;
+            cc.prefetchers[ev.evictedPfSlot]->onPrefetchUseless(
+                ev.evictedPfMeta);
+        }
+    }
+
+    PrefetcherSlotStats &ps = cc.pfStats[slot];
+    ++ps.issued;
+    if (from_dram)
+        ++ps.fillsFromDram;
+    ++cc.window.pfIssued[slot];
+}
+
+Cycle
+Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
+                  Cycle issue, bool &l1_miss)
+{
+    CoreCtx &cc = *coreCtxs[core];
+    Addr line = lineNumber(addr);
+
+    const Cycle l1_lat = cc.l1.params().latency;
+    const Cycle l2_lat = l1_lat + cc.l2.params().latency;
+    const Cycle llc_lat = l2_lat + llc->params().latency;
+
+    // Off-chip prediction happens as soon as the address is known.
+    bool ocp_pred = false;
+    if (cc.ocp && cc.decision.ocpEnable)
+        ocp_pred = cc.ocp->predict(pc, addr);
+
+    bool went_offchip = false;
+    Cycle completion;
+
+    CacheLookup l1res = cc.l1.access(line, issue);
+    triggerLevel(core, CacheLevel::kL1D, pc, addr, l1res.hit, issue);
+    l1_miss = !l1res.hit;
+
+    if (l1res.hit) {
+        dispatchPrefetchFeedbackUsed(core, l1res, issue);
+        completion = std::max(issue + l1_lat, l1res.readyAt);
+    } else {
+        CacheLookup l2res = cc.l2.access(line, issue);
+        triggerLevel(core, CacheLevel::kL2C, pc, addr, l2res.hit,
+                     issue);
+        if (l2res.hit) {
+            dispatchPrefetchFeedbackUsed(core, l2res, issue);
+            completion = std::max(issue + l2_lat, l2res.readyAt);
+            cc.l1.fill(line, issue, completion, false);
+        } else {
+            CacheLookup llcres = llc->access(line, issue);
+            if (llcres.hit) {
+                dispatchPrefetchFeedbackUsed(core, llcres, issue);
+                completion =
+                    std::max(issue + llc_lat, llcres.readyAt);
+                cc.l2.fill(line, issue, completion, false);
+                cc.l1.fill(line, issue, completion, false);
+            } else {
+                went_offchip = true;
+                if (cc.pollutionBloom.mayContain(line))
+                    ++cc.window.pollutionMisses;
+
+                Cycle done;
+                if (ocp_pred) {
+                    // Hermes path: the speculative request reaches
+                    // the controller after the OCP request issue
+                    // latency, hiding the on-chip lookup from the
+                    // off-chip critical path.
+                    done = dram->serve(issue + cfg.ocpIssueLatency,
+                                       line, AccessType::kOcp);
+                    completion = std::max(done, issue + l1_lat);
+                } else {
+                    done = dram->serve(issue + llc_lat, line,
+                                       AccessType::kDemandLoad);
+                    completion = done;
+                }
+
+                CacheEviction ev =
+                    llc->fill(line, issue, completion, false);
+                handleLlcEviction(core, ev);
+                cc.l2.fill(line, issue, completion, false);
+                cc.l1.fill(line, issue, completion, false);
+                if (cc.ocp)
+                    cc.ocp->onFill(line);
+
+                ++cc.window.llcMisses;
+                cc.window.llcMissLatency += completion - issue;
+                ++cc.llcMissesTotal;
+                cc.llcMissLatencyTotal += completion - issue;
+            }
+            ++cc.window.llcDemandAccesses;
+        }
+    }
+
+    // A false-positive OCP prediction wasted one DRAM transfer.
+    if (ocp_pred && !went_offchip) {
+        dram->serve(issue + cfg.ocpIssueLatency, line,
+                    AccessType::kOcp);
+    }
+
+    if (ocp_pred) {
+        ++cc.window.ocpPredictions;
+        ++cc.ocpPredictions;
+        if (went_offchip) {
+            ++cc.window.ocpCorrect;
+            ++cc.ocpCorrect;
+        }
+    }
+    if (cc.ocp && cc.decision.ocpEnable)
+        cc.ocp->train(pc, addr, went_offchip);
+    cc.policy->onDemandResolved(pc, addr, went_offchip);
+
+    maybeEndEpoch(core);
+    return completion;
+}
+
+void
+Simulator::doStore(unsigned core, std::uint64_t pc, Addr addr,
+                   Cycle cycle)
+{
+    CoreCtx &cc = *coreCtxs[core];
+    Addr line = lineNumber(addr);
+
+    const Cycle l1_lat = cc.l1.params().latency;
+    const Cycle l2_lat = l1_lat + cc.l2.params().latency;
+    const Cycle llc_lat = l2_lat + llc->params().latency;
+
+    CacheLookup l1res = cc.l1.access(line, cycle);
+    triggerLevel(core, CacheLevel::kL1D, pc, addr, l1res.hit, cycle);
+    if (l1res.hit) {
+        dispatchPrefetchFeedbackUsed(core, l1res, cycle);
+        return;
+    }
+    CacheLookup l2res = cc.l2.access(line, cycle);
+    triggerLevel(core, CacheLevel::kL2C, pc, addr, l2res.hit, cycle);
+    if (l2res.hit) {
+        dispatchPrefetchFeedbackUsed(core, l2res, cycle);
+        cc.l1.fill(line, cycle, cycle + l2_lat, false);
+        return;
+    }
+    CacheLookup llcres = llc->access(line, cycle);
+    if (llcres.hit) {
+        dispatchPrefetchFeedbackUsed(core, llcres, cycle);
+        cc.l2.fill(line, cycle, cycle + llc_lat, false);
+        cc.l1.fill(line, cycle, cycle + llc_lat, false);
+        return;
+    }
+    // Write-allocate from DRAM; off the critical path but the
+    // traffic is real.
+    Cycle done =
+        dram->serve(cycle + llc_lat, line, AccessType::kDemandStore);
+    CacheEviction ev = llc->fill(line, cycle, done, false);
+    handleLlcEviction(core, ev);
+    cc.l2.fill(line, cycle, done, false);
+    cc.l1.fill(line, cycle, done, false);
+    if (cc.ocp)
+        cc.ocp->onFill(line);
+}
+
+void
+Simulator::maybeEndEpoch(unsigned core)
+{
+    CoreCtx &cc = *coreCtxs[core];
+    std::uint64_t retired = cc.core->retired();
+    if (retired < cc.epochStartInstr + cfg.epochInstructions)
+        return;
+
+    Cycle now = cc.core->now();
+    const CoreCounters &cs = cc.core->counters();
+
+    EpochStats stats = cc.window;
+    stats.instructions = retired - cc.epochStartInstr;
+    stats.cycles = now > cc.epochStartCycle
+                       ? now - cc.epochStartCycle
+                       : 1;
+    stats.loads = cs.loads - cc.epochStartCounters.loads;
+    stats.branches = cs.branches - cc.epochStartCounters.branches;
+    stats.branchMispredicts =
+        cs.branchMispredicts - cc.epochStartCounters.branchMispredicts;
+
+    const DramCounters &life = dram->lifetime();
+    stats.dramDemand = life.demandRequests - cc.lastDram.demandRequests;
+    stats.dramPrefetch =
+        life.prefetchRequests - cc.lastDram.prefetchRequests;
+    stats.dramOcp = life.ocpRequests - cc.lastDram.ocpRequests;
+    double busy = static_cast<double>(life.busBusyCycles -
+                                      cc.lastBusBusy);
+    stats.bandwidthUsage =
+        std::min(1.0, busy / static_cast<double>(stats.cycles) /
+                          static_cast<double>(cfg.cores));
+
+    cc.decision = cc.policy->onEpochEnd(stats);
+
+    // Apply the decision: prefetcher degrees (Algorithm 1's d) and
+    // per-epoch bandwidth feedback for Pythia-style prefetchers.
+    for (unsigned slot = 0; slot < cc.prefetchers.size(); ++slot) {
+        Prefetcher &pf = *cc.prefetchers[slot];
+        auto d = static_cast<unsigned>(
+            std::floor(cc.decision.degreeScale[slot] *
+                       static_cast<double>(pf.maxDegree())));
+        // An *enabled* prefetcher runs at degree >= 1: throttling
+        // to zero would both contradict the enable decision and
+        // starve a learning policy of the evidence that prefetching
+        // can help.
+        if (cc.decision.pfEnabled(slot) && d == 0)
+            d = 1;
+        pf.setDegree(d);
+        pf.onEpochEnd(stats.bandwidthUsage);
+    }
+
+    // Reset the epoch window (section 5.2: trackers cleared).
+    cc.window = EpochStats{};
+    cc.epochStartInstr = retired;
+    cc.epochStartCycle = now;
+    cc.epochStartCounters = cs;
+    cc.lastDram = life;
+    cc.lastBusBusy = life.busBusyCycles;
+    cc.pollutionBloom.clear();
+}
+
+SimResult
+Simulator::run(std::uint64_t instructions_per_core,
+               std::uint64_t warmup_per_core)
+{
+    std::uint64_t total = instructions_per_core + warmup_per_core;
+
+    struct MeasureStart
+    {
+        std::uint64_t instr = 0;
+        Cycle cycle = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t mispredicts = 0;
+        std::uint64_t llcMisses = 0;
+        std::uint64_t llcMissLatency = 0;
+    };
+    std::vector<MeasureStart> starts(cfg.cores);
+    std::vector<bool> started(cfg.cores, false);
+    DramCounters dram_at_start;
+    Cycle max_now_at_start = 0;
+    bool any_started = false;
+
+    auto check_warmup = [&](unsigned c) {
+        CoreCtx &cc = *coreCtxs[c];
+        if (!started[c] && cc.core->retired() >= warmup_per_core) {
+            started[c] = true;
+            starts[c] = {cc.core->retired(), cc.core->now(),
+                         cc.core->counters().loads,
+                         cc.core->counters().branchMispredicts,
+                         cc.llcMissesTotal, cc.llcMissLatencyTotal};
+            if (!any_started) {
+                any_started = true;
+                dram_at_start = dram->lifetime();
+                max_now_at_start = cc.core->now();
+            }
+        }
+    };
+
+    if (cfg.cores == 1) {
+        CoreCtx &cc = *coreCtxs[0];
+        while (cc.core->retired() < total) {
+            cc.core->step();
+            check_warmup(0);
+        }
+    } else {
+        // Step the globally least-advanced unfinished core to keep
+        // the cores loosely synchronized so shared-resource
+        // contention is meaningful.
+        while (true) {
+            unsigned pick = cfg.cores;
+            Cycle best = ~Cycle(0);
+            for (unsigned c = 0; c < cfg.cores; ++c) {
+                CoreCtx &cc = *coreCtxs[c];
+                if (cc.core->retired() >= total)
+                    continue;
+                if (cc.core->now() <= best) {
+                    best = cc.core->now();
+                    pick = c;
+                }
+            }
+            if (pick == cfg.cores)
+                break;
+            coreCtxs[pick]->core->step();
+            check_warmup(pick);
+        }
+    }
+
+    SimResult result;
+    Cycle max_now = 0;
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        CoreCtx &cc = *coreCtxs[c];
+        const MeasureStart &ms = starts[c];
+        SimResult::PerCore pc;
+        pc.workload = cc.workloadName;
+        pc.instructions = cc.core->retired() - ms.instr;
+        Cycle cyc = cc.core->now() > ms.cycle
+                        ? cc.core->now() - ms.cycle
+                        : 1;
+        pc.cycles = cyc;
+        pc.ipc = static_cast<double>(pc.instructions) /
+                 static_cast<double>(cyc);
+        pc.loads = cc.core->counters().loads - ms.loads;
+        pc.branchMispredicts =
+            cc.core->counters().branchMispredicts - ms.mispredicts;
+        pc.llcMisses = cc.llcMissesTotal - ms.llcMisses;
+        pc.llcMissLatency =
+            cc.llcMissLatencyTotal - ms.llcMissLatency;
+        pc.pf = cc.pfStats;
+        pc.ocpPredictions = cc.ocpPredictions;
+        pc.ocpCorrect = cc.ocpCorrect;
+        if (auto *agent =
+                dynamic_cast<AthenaAgent *>(cc.policy.get())) {
+            pc.actionHistogram = agent->actionHistogram();
+        }
+        result.cores.push_back(std::move(pc));
+        max_now = std::max(max_now, cc.core->now());
+    }
+
+    const DramCounters &life = dram->lifetime();
+    result.dram.demandRequests =
+        life.demandRequests - dram_at_start.demandRequests;
+    result.dram.prefetchRequests =
+        life.prefetchRequests - dram_at_start.prefetchRequests;
+    result.dram.ocpRequests =
+        life.ocpRequests - dram_at_start.ocpRequests;
+    result.dram.rowHits = life.rowHits - dram_at_start.rowHits;
+    result.dram.rowMisses = life.rowMisses - dram_at_start.rowMisses;
+    result.dram.busBusyCycles =
+        life.busBusyCycles - dram_at_start.busBusyCycles;
+    Cycle window = max_now > max_now_at_start
+                       ? max_now - max_now_at_start
+                       : 1;
+    result.busUtilization =
+        std::min(1.0, static_cast<double>(result.dram.busBusyCycles) /
+                          static_cast<double>(window));
+    return result;
+}
+
+} // namespace athena

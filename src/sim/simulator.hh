@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The simulator: composes workload generators, core timing models,
+ * the private L1D/L2 + shared LLC hierarchy, the DRAM channel, the
+ * prefetchers, the off-chip predictor, and the coordination policy
+ * into a runnable single- or multi-core system.
+ *
+ * This is the substitution for ChampSim (DESIGN.md section 3): a
+ * cycle-approximate model that preserves the three first-order
+ * effects the paper's results hinge on — prediction accuracy, DRAM
+ * bandwidth occupancy, and the on-chip/off-chip latency split.
+ */
+
+#ifndef ATHENA_SIM_SIMULATOR_HH
+#define ATHENA_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "athena/bloom.hh"
+#include "coord/policy.hh"
+#include "cpu/core_model.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "ocp/ocp.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/system_config.hh"
+#include "trace/workload.hh"
+
+namespace athena
+{
+
+/** Cumulative per-prefetcher-slot statistics. */
+struct PrefetcherSlotStats
+{
+    std::uint64_t issued = 0;
+    std::uint64_t used = 0;
+    std::uint64_t usedTimely = 0;
+    std::uint64_t uselessEvictions = 0;
+    /** Fills into the prefetcher's level that came from DRAM. */
+    std::uint64_t fillsFromDram = 0;
+    /** Of those, evicted without any demand touch (Fig. 3). */
+    std::uint64_t fillsFromDramUnused = 0;
+
+    double
+    accuracy() const
+    {
+        return issued == 0 ? 0.0
+                           : static_cast<double>(used) /
+                                 static_cast<double>(issued);
+    }
+
+    double
+    offChipFillInaccuracy() const
+    {
+        return fillsFromDram == 0
+                   ? 0.0
+                   : static_cast<double>(fillsFromDramUnused) /
+                         static_cast<double>(fillsFromDram);
+    }
+};
+
+/** Results of one simulation run. */
+struct SimResult
+{
+    struct PerCore
+    {
+        std::string workload;
+        double ipc = 0.0;
+        std::uint64_t instructions = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t branchMispredicts = 0;
+        std::uint64_t llcMisses = 0;
+        std::uint64_t llcMissLatency = 0;
+        std::array<PrefetcherSlotStats, kMaxPrefetchers> pf{};
+        std::uint64_t ocpPredictions = 0;
+        std::uint64_t ocpCorrect = 0;
+        /** Athena's per-action selection counts (Fig. 17). */
+        std::array<std::uint64_t, 4> actionHistogram{};
+
+        double
+        avgLlcMissLatency() const
+        {
+            return llcMisses == 0
+                       ? 0.0
+                       : static_cast<double>(llcMissLatency) /
+                             static_cast<double>(llcMisses);
+        }
+
+        double
+        ocpAccuracy() const
+        {
+            return ocpPredictions == 0
+                       ? 0.0
+                       : static_cast<double>(ocpCorrect) /
+                             static_cast<double>(ocpPredictions);
+        }
+    };
+
+    std::vector<PerCore> cores;
+    /** DRAM traffic during the measurement window. */
+    DramCounters dram;
+    /** Data-bus utilization over the measurement window. */
+    double busUtilization = 0.0;
+
+    /** Single-core convenience accessor. */
+    double ipc() const { return cores.empty() ? 0.0 : cores[0].ipc; }
+};
+
+/**
+ * One simulated system instance. Construct, then run() once;
+ * construct a fresh Simulator for each run.
+ */
+class Simulator
+{
+  public:
+    /**
+     * @param config    the system configuration
+     * @param workloads one spec per core (size must equal
+     *                  config.cores)
+     */
+    Simulator(const SystemConfig &config,
+              const std::vector<WorkloadSpec> &workloads);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /**
+     * Run warmup + measured instructions per core and return the
+     * measured-window results.
+     */
+    SimResult run(std::uint64_t instructions_per_core,
+                  std::uint64_t warmup_per_core);
+
+    /** The coordination policy of a core (tests introspect). */
+    CoordinationPolicy &policy(unsigned core = 0);
+
+  private:
+    friend class CoreMemAdapter;
+
+    struct CoreCtx;
+
+    // Memory-path internals (called via the per-core adapter).
+    Cycle doLoad(unsigned core, std::uint64_t pc, Addr addr,
+                 Cycle issue, bool &l1_miss);
+    void doStore(unsigned core, std::uint64_t pc, Addr addr,
+                 Cycle cycle);
+
+    void triggerLevel(unsigned core, CacheLevel level,
+                      std::uint64_t pc, Addr addr, bool hit,
+                      Cycle cycle);
+    void issuePrefetch(unsigned core, unsigned slot,
+                       const PrefetchCandidate &cand,
+                       std::uint64_t trigger_pc, Cycle cycle);
+    void handleLlcEviction(unsigned core, const CacheEviction &ev);
+    void dispatchPrefetchFeedbackUsed(unsigned core,
+                                      const CacheLookup &res,
+                                      Cycle demand_cycle);
+    void maybeEndEpoch(unsigned core);
+
+    SystemConfig cfg;
+    std::vector<std::unique_ptr<CoreCtx>> coreCtxs;
+
+    // Shared resources.
+    std::unique_ptr<Cache> llc;
+    std::unique_ptr<Dram> dram;
+
+    std::vector<PrefetchCandidate> scratch; ///< Candidate buffer.
+};
+
+} // namespace athena
+
+#endif // ATHENA_SIM_SIMULATOR_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SystemConfig helpers.
+ */
+
+#include "sim/system_config.hh"
+
+namespace athena
+{
+
+const char *
+cacheDesignName(CacheDesign design)
+{
+    switch (design) {
+      case CacheDesign::kCd1: return "CD1";
+      case CacheDesign::kCd2: return "CD2";
+      case CacheDesign::kCd3: return "CD3";
+      case CacheDesign::kCd4: return "CD4";
+    }
+    return "?";
+}
+
+unsigned
+SystemConfig::numPrefetchers() const
+{
+    unsigned n = 0;
+    if (l1dPf != PrefetcherKind::kNone)
+        ++n;
+    if (l2cPf != PrefetcherKind::kNone)
+        ++n;
+    if (l2cPf2 != PrefetcherKind::kNone)
+        ++n;
+    return n;
+}
+
+SystemConfig
+makeDesignConfig(CacheDesign design, PolicyKind policy)
+{
+    SystemConfig cfg;
+    cfg.policy = policy;
+    switch (design) {
+      case CacheDesign::kCd1:
+        cfg.label = "CD1";
+        cfg.l2cPf = PrefetcherKind::kPythia;
+        break;
+      case CacheDesign::kCd2:
+        cfg.label = "CD2";
+        cfg.l1dPf = PrefetcherKind::kIpcp;
+        cfg.l2cPf = PrefetcherKind::kNone;
+        break;
+      case CacheDesign::kCd3:
+        cfg.label = "CD3";
+        cfg.l2cPf = PrefetcherKind::kSms;
+        cfg.l2cPf2 = PrefetcherKind::kPythia;
+        break;
+      case CacheDesign::kCd4:
+        cfg.label = "CD4";
+        cfg.l1dPf = PrefetcherKind::kIpcp;
+        cfg.l2cPf = PrefetcherKind::kPythia;
+        break;
+    }
+    return cfg;
+}
+
+CacheParams
+l1dParams()
+{
+    return {"L1D", 48 << 10, 12, 5};
+}
+
+CacheParams
+l2cParams()
+{
+    return {"L2C", (1280u << 10), 20, 15};
+}
+
+CacheParams
+llcParams(unsigned cores)
+{
+    return {"LLC", static_cast<std::uint64_t>(3) * cores << 20, 12,
+            55};
+}
+
+DramParams
+dramParams(double bandwidth_gbps)
+{
+    DramParams p;
+    p.bandwidthGBps = bandwidth_gbps;
+    return p;
+}
+
+} // namespace athena

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SystemConfig: everything that defines one simulated system —
+ * cache design (CD1-CD4, Table 7), prefetcher/OCP selection
+ * (sections 6.4/6.5), coordination policy, memory bandwidth, core
+ * count, and epoch length.
+ */
+
+#ifndef ATHENA_SIM_SYSTEM_CONFIG_HH
+#define ATHENA_SIM_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "athena/agent.hh"
+#include "coord/hpac.hh"
+#include "coord/mab.hh"
+#include "cpu/core_model.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "ocp/ocp.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace athena
+{
+
+/** The four evaluated cache designs (Table 7). */
+enum class CacheDesign : std::uint8_t
+{
+    kCd1, ///< OCP + 1 L2C prefetcher (default: POPET + Pythia).
+    kCd2, ///< OCP + 1 L1D prefetcher (default: POPET + IPCP).
+    kCd3, ///< OCP + 2 L2C prefetchers (POPET + SMS + Pythia).
+    kCd4, ///< OCP + 1 L1D + 1 L2C prefetcher (POPET+IPCP+Pythia).
+};
+
+const char *cacheDesignName(CacheDesign design);
+
+struct SystemConfig
+{
+    std::string label = "cd1";
+
+    // Component selection.
+    PrefetcherKind l1dPf = PrefetcherKind::kNone;
+    PrefetcherKind l2cPf = PrefetcherKind::kPythia;
+    PrefetcherKind l2cPf2 = PrefetcherKind::kNone;
+    OcpKind ocp = OcpKind::kPopet;
+    PolicyKind policy = PolicyKind::kNaive;
+
+    // Policy configurations (used when the matching policy is
+    // selected).
+    AthenaConfig athena;
+    HpacThresholds hpac;
+    MabParams mab;
+
+    // System parameters (Table 5 defaults).
+    double bandwidthGBps = 3.2;
+    Cycle ocpIssueLatency = 6;
+    unsigned cores = 1;
+    std::uint64_t epochInstructions = 8000;
+    CoreParams core;
+    std::uint64_t seed = 7;
+
+    /** Number of prefetcher slots in use. */
+    unsigned numPrefetchers() const;
+};
+
+/** Build the config for a given cache design with defaults. */
+SystemConfig makeDesignConfig(CacheDesign design,
+                              PolicyKind policy = PolicyKind::kNaive);
+
+/** Cache parameters of Table 5 (LLC size scales with cores). */
+CacheParams l1dParams();
+CacheParams l2cParams();
+CacheParams llcParams(unsigned cores);
+
+/** DRAM parameters of Table 5 at a given bandwidth. */
+DramParams dramParams(double bandwidth_gbps);
+
+} // namespace athena
+
+#endif // ATHENA_SIM_SYSTEM_CONFIG_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multi-core mix construction.
+ */
+
+#include "trace/mixes.hh"
+
+#include "common/rng.hh"
+
+namespace athena
+{
+
+namespace
+{
+
+WorkloadMix
+drawMix(const std::string &name, const std::vector<std::string> &pool,
+        unsigned cores, Rng &rng)
+{
+    WorkloadMix mix;
+    mix.name = name;
+    mix.workloads.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        mix.workloads.push_back(pool[rng.below(pool.size())]);
+    return mix;
+}
+
+} // namespace
+
+std::vector<WorkloadMix>
+buildMixes(const std::vector<std::string> &adverse,
+           const std::vector<std::string> &friendly,
+           const std::vector<std::string> &all,
+           unsigned cores, unsigned per_category, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<WorkloadMix> mixes;
+    mixes.reserve(3 * per_category);
+    for (unsigned i = 0; i < per_category; ++i) {
+        mixes.push_back(drawMix("adverse_" + std::to_string(i),
+                                adverse.empty() ? all : adverse, cores,
+                                rng));
+    }
+    for (unsigned i = 0; i < per_category; ++i) {
+        mixes.push_back(drawMix("friendly_" + std::to_string(i),
+                                friendly.empty() ? all : friendly, cores,
+                                rng));
+    }
+    for (unsigned i = 0; i < per_category; ++i) {
+        mixes.push_back(
+            drawMix("random_" + std::to_string(i), all, cores, rng));
+    }
+    return mixes;
+}
+
+} // namespace athena

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Multi-core workload mix construction (section 6.1 of the paper).
+ *
+ * Three categories per core count: mixes drawn only from
+ * prefetcher-adverse workloads, only from prefetcher-friendly
+ * workloads, and uniformly at random from the whole set. The
+ * adverse/friendly classification itself is produced at run time by
+ * the experiment runner (Pythia-only vs. baseline, as in Fig. 1).
+ */
+
+#ifndef ATHENA_TRACE_MIXES_HH
+#define ATHENA_TRACE_MIXES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace athena
+{
+
+/** One multi-core mix: a workload name per core. */
+struct WorkloadMix
+{
+    std::string name;
+    std::vector<std::string> workloads;
+};
+
+/**
+ * Build the three mix categories.
+ *
+ * @param adverse   names of prefetcher-adverse workloads
+ * @param friendly  names of prefetcher-friendly workloads
+ * @param all       all workload names
+ * @param cores     workloads per mix (4 or 8)
+ * @param per_category number of mixes in each of the 3 categories
+ * @param seed      RNG seed for reproducible selection
+ * @return mixes ordered [adverse..., friendly..., random...]
+ */
+std::vector<WorkloadMix>
+buildMixes(const std::vector<std::string> &adverse,
+           const std::vector<std::string> &friendly,
+           const std::vector<std::string> &all,
+           unsigned cores, unsigned per_category, std::uint64_t seed);
+
+} // namespace athena
+
+#endif // ATHENA_TRACE_MIXES_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * SyntheticWorkload implementation.
+ */
+
+#include "trace/workload.hh"
+
+#include "common/hashing.hh"
+
+namespace athena
+{
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::kSpec06: return "SPEC06";
+      case Suite::kSpec17: return "SPEC17";
+      case Suite::kParsec: return "PARSEC";
+      case Suite::kLigra:  return "Ligra";
+      case Suite::kCvp:    return "CVP";
+      case Suite::kDpc4:   return "DPC4";
+      case Suite::kTuning: return "Tuning";
+    }
+    return "?";
+}
+
+SyntheticWorkload::SyntheticWorkload(WorkloadSpec spec_)
+    : spec(std::move(spec_)), rng(spec.seed)
+{
+    reset();
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng = Rng(spec.seed);
+    globalInstr = 0;
+    phaseStates.clear();
+    phaseStates.resize(spec.phases.size());
+    for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+        const PhaseParams &p = spec.phases[i];
+        PhaseState &st = phaseStates[i];
+        // Disjoint 1 TB-aligned virtual region per phase keeps
+        // phases from aliasing; the seed salt keeps workloads
+        // disjoint too.
+        st.base = (mix64(spec.seed * 1315423911ull + i) & 0xfffull)
+                  << 40;
+        st.chasePtr = st.base;
+        st.burstLeft = p.scanBurst;
+        st.regionBase = st.base;
+        if (p.pattern == Pattern::kGraph) {
+            // Zipf over destination *pages* keeps the table small
+            // while preserving a heavy-tailed reuse distribution.
+            std::uint64_t pages = p.footprintBytes >> kPageShift;
+            if (pages < 2)
+                pages = 2;
+            if (pages > 16384)
+                pages = 16384;
+            st.zipf = std::make_unique<ZipfSampler>(pages, p.zipfS);
+        }
+    }
+    enterPhase(0);
+}
+
+void
+SyntheticWorkload::enterPhase(std::size_t index)
+{
+    phaseIndex = index % spec.phases.size();
+    phaseInstrsLeft = spec.phases[phaseIndex].instructions;
+}
+
+Addr
+SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
+{
+    const PhaseParams &p = spec.phases[phaseIndex];
+    PhaseState &st = phaseStates[phaseIndex];
+    depends_on_prev = false;
+
+    // The hot-set roll models cache-resident operand traffic
+    // (stack, locals, node payloads) shared by all patterns; the
+    // remaining accesses follow the pattern over the big footprint.
+    if (p.pattern != Pattern::kGraph && p.hotFrac > 0.0 &&
+        rng.chance(p.hotFrac)) {
+        return st.base + (1ull << 38) + (rng.next() % p.hotBytes);
+    }
+
+    switch (p.pattern) {
+      case Pattern::kStream:
+        {
+            Addr a = st.base + st.cursor;
+            st.cursor = (st.cursor + p.elementBytes) %
+                        p.footprintBytes;
+            return a;
+        }
+      case Pattern::kStride:
+        {
+            Addr a = st.base + st.cursor;
+            st.cursor = (st.cursor + p.strideBytes) %
+                        p.footprintBytes;
+            return a;
+        }
+      case Pattern::kChase:
+        {
+            // Walk an implicit permutation: the node index advances
+            // through a full-period LCG and is scattered over the
+            // footprint by a hash. The address sequence is
+            // unpredictable for an address prefetcher and never
+            // collapses into a short cycle (a naive
+            // "next = hash(current)" walk would close a ~sqrt(N)
+            // loop that fits in the L2). The core serializes these
+            // loads.
+            Addr a = st.chasePtr;
+            st.cursor = st.cursor * 6364136223846793005ull +
+                        1442695040888963407ull;
+            std::uint64_t lines = p.footprintBytes >> kLineShift;
+            st.chasePtr =
+                st.base +
+                (mix64(st.cursor ^ spec.seed) % lines) * kLineBytes;
+            depends_on_prev = true;
+            return a;
+        }
+      case Pattern::kIrregular:
+        // Hashed cold accesses over the whole footprint: hard for
+        // an address prefetcher, easy for an off-chip predictor
+        // (the miss PCs are stable).
+        return st.base + (1ull << 36) +
+               (rng.next() % p.footprintBytes);
+      case Pattern::kGraph:
+        {
+            if (st.burstLeft == 0) {
+                st.inScan = !st.inScan;
+                st.burstLeft =
+                    st.inScan ? p.scanBurst : p.gatherBurst;
+            }
+            --st.burstLeft;
+            if (st.inScan) {
+                Addr a = st.base + st.scanCursor;
+                st.scanCursor = (st.scanCursor + p.elementBytes) %
+                                (p.footprintBytes / 4);
+                return a;
+            }
+            std::uint64_t page = st.zipf->sample(rng);
+            std::uint64_t off = rng.next() % kPageBytes;
+            return st.base + (1ull << 36) + page * kPageBytes + off;
+        }
+      case Pattern::kCompute:
+        // Cold random tail past the shared hot-set roll; supplies
+        // the >= 3 MPKI the paper's selection criterion requires.
+        return st.base + (1ull << 36) +
+               (rng.next() % p.footprintBytes);
+      case Pattern::kRegionSpatial:
+        {
+            if (st.regionStep == 0) {
+                // Pick a fresh region; its line bitmap is a pure
+                // function of the region id, so SMS-style pattern
+                // history is profitable.
+                std::uint64_t region =
+                    rng.next() % (p.footprintBytes >> kPageShift);
+                st.regionBase = st.base + region * kPageBytes;
+                st.regionPattern = mix64(region ^ (spec.seed << 1));
+            }
+            unsigned line =
+                (st.regionPattern >> ((st.regionStep * 6) % 58)) &
+                (kLinesPerPage - 1);
+            st.regionStep = (st.regionStep + 1) % p.regionLines;
+            return st.regionBase +
+                   static_cast<Addr>(line) * kLineBytes;
+        }
+    }
+    return st.base;
+}
+
+TraceRecord
+SyntheticWorkload::next()
+{
+    if (phaseInstrsLeft == 0)
+        enterPhase(phaseIndex + 1);
+    --phaseInstrsLeft;
+    ++globalInstr;
+
+    const PhaseParams &p = spec.phases[phaseIndex];
+    PhaseState &st = phaseStates[phaseIndex];
+    TraceRecord rec;
+
+    double roll = rng.uniform();
+    std::uint64_t pc_region = (spec.seed << 20) ^ (phaseIndex << 12);
+
+    if (roll < p.loadFrac) {
+        rec.kind = InstrKind::kLoad;
+        rec.addr = nextDataAddr(rec.dependsOnPrevLoad);
+        rec.criticalConsumer = rng.chance(p.criticalFrac);
+        st.pcRotor = (st.pcRotor + 1) % p.loadPcs;
+        rec.pc = 0x400000 + pc_region + 0x10 * st.pcRotor;
+    } else if (roll < p.loadFrac + p.storeFrac) {
+        rec.kind = InstrKind::kStore;
+        bool dep = false;
+        rec.addr = nextDataAddr(dep);
+        rec.pc = 0x500000 + pc_region;
+    } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac) {
+        rec.kind = InstrKind::kBranch;
+        // A small family of static branches; most follow their
+        // bias, a noise fraction flips a fair coin (the gshare
+        // predictor in the core turns that into real
+        // mispredictions).
+        rec.pc = 0x600000 + pc_region + 0x8 * (rng.next() % 16);
+        if (rng.chance(p.branchNoise))
+            rec.taken = rng.chance(0.5);
+        else
+            rec.taken = rng.chance(p.branchBias);
+    } else {
+        rec.kind = InstrKind::kAlu;
+        rec.pc = 0x700000 + pc_region;
+    }
+    return rec;
+}
+
+std::unique_ptr<WorkloadGenerator>
+makeWorkload(const WorkloadSpec &spec)
+{
+    return std::make_unique<SyntheticWorkload>(spec);
+}
+
+} // namespace athena

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Trace record format and the synthetic workload generator.
+ *
+ * The Athena paper evaluates on 100 captured traces (SPEC CPU
+ * 2006/2017, PARSEC, Ligra, CVP). Those traces are tens of gigabytes
+ * and not redistributable here, so this module synthesizes
+ * deterministic instruction streams whose *memory-system behaviour*
+ * spans the same population: regular streaming/striding code
+ * (prefetcher-friendly), dependent pointer chasing and hashed
+ * irregular access (prefetcher-adverse but easy for an off-chip
+ * predictor), Ligra-style scan/gather graph phases, and CVP-style
+ * branchy compute. See DESIGN.md section 4 for the substitution
+ * argument.
+ */
+
+#ifndef ATHENA_TRACE_WORKLOAD_HH
+#define ATHENA_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace athena
+{
+
+/** Instruction classes the timing model distinguishes. */
+enum class InstrKind : std::uint8_t
+{
+    kAlu,
+    kLoad,
+    kStore,
+    kBranch,
+};
+
+/** One instruction of a workload trace. */
+struct TraceRecord
+{
+    InstrKind kind = InstrKind::kAlu;
+    std::uint64_t pc = 0;
+    Addr addr = 0;               ///< Effective address (load/store).
+    bool taken = false;          ///< Branch outcome.
+    /**
+     * True when this load consumes the value of the previous load
+     * (pointer chasing); the core serializes such loads, which is
+     * what destroys memory-level parallelism in mcf-like workloads.
+     */
+    bool dependsOnPrevLoad = false;
+    /**
+     * True when near-term work depends on this load's value
+     * (a consumer within the issue window): the front end cannot
+     * make progress until it completes. This is what makes miss
+     * *latency* — and therefore prefetching and off-chip
+     * prediction — matter at all in an out-of-order core with a
+     * deep ROB; without it every miss is absorbed by MLP.
+     */
+    bool criticalConsumer = false;
+};
+
+/** Abstract instruction stream. */
+class WorkloadGenerator
+{
+  public:
+    virtual ~WorkloadGenerator() = default;
+
+    /** Restart the stream from the beginning (deterministic). */
+    virtual void reset() = 0;
+
+    /** Produce the next instruction. Streams are infinite. */
+    virtual TraceRecord next() = 0;
+};
+
+/** Memory access pattern of a workload phase. */
+enum class Pattern : std::uint8_t
+{
+    kStream,        ///< Sequential lines over the footprint.
+    kStride,        ///< Constant stride (possibly > 1 line).
+    kChase,         ///< Dependent pointer chase over the footprint.
+    kIrregular,     ///< Hashed accesses, hot-set + cold tail.
+    kGraph,         ///< Ligra-like alternating scan / zipf gather.
+    kCompute,       ///< Mostly cache-resident, branchy (CVP-like).
+    kRegionSpatial, ///< Recurring per-region line bitmaps (SMS bait).
+};
+
+/** Parameters of one execution phase. */
+struct PhaseParams
+{
+    Pattern pattern = Pattern::kStream;
+    std::uint64_t instructions = 100000; ///< Phase length.
+    std::uint64_t footprintBytes = 64ull << 20;
+    unsigned strideBytes = kLineBytes;   ///< For kStride.
+    /** kStream advance per access (8 B elements -> ~8 accesses per
+     *  line, giving realistic L1 spatial locality). */
+    unsigned elementBytes = 8;
+    double loadFrac = 0.30;
+    double storeFrac = 0.05;
+    double branchFrac = 0.10;
+    /** Fraction of loads with a near-term dependent consumer. */
+    double criticalFrac = 0.30;
+    /** Probability a (predictable) branch is taken. */
+    double branchBias = 0.85;
+    /** Fraction of branches whose outcome is 50/50 random. */
+    double branchNoise = 0.02;
+    /**
+     * Fraction of data accesses that hit a small hot set
+     * (cache-resident operands: locals, stack, node payloads). This
+     * is the memory-intensity dial: the remaining accesses follow
+     * the phase's pattern over the large footprint.
+     */
+    double hotFrac = 0.55;
+    std::uint64_t hotBytes = 512 << 10;
+    /** kGraph: zipf skew of the gather target distribution. */
+    double zipfS = 0.75;
+    /** kGraph: scan / gather burst lengths (accesses). */
+    unsigned scanBurst = 48;
+    unsigned gatherBurst = 24;
+    /** kRegionSpatial: distinct lines touched per 4 KB region. */
+    unsigned regionLines = 12;
+    /** Number of distinct load PCs the phase rotates through. */
+    unsigned loadPcs = 4;
+};
+
+/** Benchmark suite tags mirroring Table 6 of the paper. */
+enum class Suite : std::uint8_t
+{
+    kSpec06,
+    kSpec17,
+    kParsec,
+    kLigra,
+    kCvp,
+    kDpc4,   ///< Unseen Google-like traces (Fig. 21).
+    kTuning, ///< 20-workload DSE set (never in the 100).
+};
+
+/** Printable suite name. */
+const char *suiteName(Suite suite);
+
+/** Full description of a synthetic workload. */
+struct WorkloadSpec
+{
+    std::string name;
+    Suite suite = Suite::kSpec06;
+    std::uint64_t seed = 1;
+    std::vector<PhaseParams> phases;
+};
+
+/**
+ * The synthetic workload generator.
+ *
+ * Cycles deterministically through the spec's phases. Address
+ * streams live in disjoint virtual regions per phase so that
+ * different phases do not alias in the caches.
+ */
+class SyntheticWorkload : public WorkloadGenerator
+{
+  public:
+    explicit SyntheticWorkload(WorkloadSpec spec);
+
+    void reset() override;
+    TraceRecord next() override;
+
+    const WorkloadSpec &workloadSpec() const { return spec; }
+
+  private:
+    /**
+     * Pattern state of one phase. Persistent across phase
+     * re-entries: when execution returns to a phase, its cursors
+     * resume where they left off, so a large footprint keeps being
+     * toured instead of re-touching the same warm prefix.
+     */
+    struct PhaseState
+    {
+        Addr base = 0;            ///< Disjoint region base.
+        std::uint64_t cursor = 0; ///< Stream/stride/LCG position.
+        Addr chasePtr = 0;        ///< Current pointer-chase node.
+        std::unique_ptr<ZipfSampler> zipf;
+        bool inScan = true;       ///< kGraph mode flag.
+        unsigned burstLeft = 0;
+        std::uint64_t scanCursor = 0;
+        Addr regionBase = 0;      ///< kRegionSpatial current region.
+        unsigned regionStep = 0;
+        std::uint64_t regionPattern = 0; ///< Region line bitmap.
+        unsigned pcRotor = 0;
+    };
+
+    /** Switch to a phase (state persists across entries). */
+    void enterPhase(std::size_t index);
+
+    /** Produce the next data address for the current phase. */
+    Addr nextDataAddr(bool &depends_on_prev);
+
+    WorkloadSpec spec;
+    Rng rng;
+    std::size_t phaseIndex = 0;
+    std::uint64_t phaseInstrsLeft = 0;
+    std::vector<PhaseState> phaseStates;
+    std::uint64_t globalInstr = 0;
+};
+
+/** Convenience factory. */
+std::unique_ptr<WorkloadGenerator> makeWorkload(const WorkloadSpec &spec);
+
+} // namespace athena
+
+#endif // ATHENA_TRACE_WORKLOAD_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The workload zoo: named, seeded workload specs mirroring the
+ * population of Table 6 in the paper.
+ *
+ *  - evalWorkloads():   the 100 memory-intensive evaluation traces
+ *                       (29 SPEC06 + 20 SPEC17 + 13 PARSEC +
+ *                        13 Ligra + 25 CVP)
+ *  - tuningWorkloads(): the disjoint 20-trace set used only for
+ *                       design-space exploration (section 5.3)
+ *  - dpc4Workloads():   unseen Google-like traces for Fig. 21
+ *
+ * Archetypes (stream / stride / chase / irregular / graph / compute /
+ * region-spatial / phased) are assigned so that, on the default
+ * 3.2 GB/s configuration, roughly 40 of the 100 are
+ * prefetcher-adverse, matching Fig. 1.
+ */
+
+#ifndef ATHENA_TRACE_ZOO_HH
+#define ATHENA_TRACE_ZOO_HH
+
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace athena
+{
+
+/** The 100 evaluation workloads. */
+std::vector<WorkloadSpec> evalWorkloads();
+
+/** The 20 tuning workloads (disjoint from the 100). */
+std::vector<WorkloadSpec> tuningWorkloads();
+
+/** Unseen DPC4-like workloads, grouped a la Fig. 21. */
+std::vector<WorkloadSpec> dpc4Workloads();
+
+/** Find a spec by name in a list; throws std::out_of_range. */
+const WorkloadSpec &findWorkload(const std::vector<WorkloadSpec> &list,
+                                 const std::string &name);
+
+} // namespace athena
+
+#endif // ATHENA_TRACE_ZOO_HH

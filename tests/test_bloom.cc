@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bloom filter tests: no false negatives, bounded false positives
+ * at the paper's sizing point, clearing, and the analytic FPR
+ * helper used by the Table 4 sizing argument.
+ */
+
+#include <gtest/gtest.h>
+
+#include "athena/bloom.hh"
+#include "common/rng.hh"
+
+namespace athena
+{
+namespace
+{
+
+TEST(Bloom, NoFalseNegatives)
+{
+    BloomFilter bloom(4096, 2);
+    Rng rng(1);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 199; ++i)
+        keys.push_back(rng.next());
+    for (auto k : keys)
+        bloom.insert(k);
+    for (auto k : keys)
+        EXPECT_TRUE(bloom.mayContain(k));
+}
+
+TEST(Bloom, FalsePositiveRateNearPaperSizing)
+{
+    // Table 4 sizes 4096 bits / 2 hashes for ~1% FPR at 199
+    // insertions (3 SD above the mean prefetches per epoch).
+    BloomFilter bloom(4096, 2);
+    Rng rng(2);
+    for (int i = 0; i < 199; ++i)
+        bloom.insert(rng.next());
+    unsigned fp = 0;
+    const unsigned probes = 20000;
+    for (unsigned i = 0; i < probes; ++i) {
+        if (bloom.mayContain(rng.next() | (1ull << 63)))
+            ++fp;
+    }
+    double rate = static_cast<double>(fp) / probes;
+    EXPECT_LT(rate, 0.03);
+    EXPECT_NEAR(rate, bloom.falsePositiveRate(199), 0.01);
+}
+
+TEST(Bloom, ClearEmptiesFilter)
+{
+    BloomFilter bloom(4096, 2);
+    bloom.insert(42);
+    ASSERT_TRUE(bloom.mayContain(42));
+    bloom.clear();
+    EXPECT_FALSE(bloom.mayContain(42));
+    EXPECT_EQ(bloom.insertions(), 0u);
+}
+
+TEST(Bloom, InsertionCounterTracks)
+{
+    BloomFilter bloom(4096, 2);
+    for (int i = 0; i < 17; ++i)
+        bloom.insert(i);
+    EXPECT_EQ(bloom.insertions(), 17u);
+}
+
+TEST(Bloom, StorageMatchesConfiguration)
+{
+    BloomFilter bloom(4096, 2);
+    EXPECT_EQ(bloom.storageBits(), 4096u);
+}
+
+TEST(Bloom, AnalyticFprMonotoneInLoad)
+{
+    BloomFilter bloom(4096, 2);
+    EXPECT_LT(bloom.falsePositiveRate(50),
+              bloom.falsePositiveRate(500));
+    EXPECT_LT(bloom.falsePositiveRate(500),
+              bloom.falsePositiveRate(5000));
+}
+
+class BloomGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{};
+
+TEST_P(BloomGeometry, NoFalseNegativesAnyGeometry)
+{
+    auto [bits, hashes] = GetParam();
+    BloomFilter bloom(bits, hashes);
+    Rng rng(3);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 64; ++i)
+        keys.push_back(rng.next());
+    for (auto k : keys)
+        bloom.insert(k);
+    for (auto k : keys)
+        EXPECT_TRUE(bloom.mayContain(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BloomGeometry,
+    ::testing::Values(std::make_pair(256u, 1u),
+                      std::make_pair(1024u, 2u),
+                      std::make_pair(4096u, 2u),
+                      std::make_pair(4096u, 4u),
+                      std::make_pair(16384u, 3u)));
+
+} // namespace
+} // namespace athena

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the common utilities: types/address arithmetic,
+ * RNG determinism, hashing, saturating counters, statistics, and
+ * the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/hashing.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace athena
+{
+namespace
+{
+
+TEST(Types, LineAndPageArithmetic)
+{
+    EXPECT_EQ(lineNumber(0), 0u);
+    EXPECT_EQ(lineNumber(63), 0u);
+    EXPECT_EQ(lineNumber(64), 1u);
+    EXPECT_EQ(lineBase(lineNumber(0x12345)), 0x12345ull & ~63ull);
+    EXPECT_EQ(pageNumber(4095), 0u);
+    EXPECT_EQ(pageNumber(4096), 1u);
+    EXPECT_EQ(kLinesPerPage, 64u);
+}
+
+TEST(Types, PageLineOffset)
+{
+    EXPECT_EQ(pageLineOffset(0), 0u);
+    EXPECT_EQ(pageLineOffset(64), 1u);
+    EXPECT_EQ(pageLineOffset(4096 - 1), 63u);
+    EXPECT_EQ(pageLineOffset(4096), 0u);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, ZeroSeedRemapped)
+{
+    Rng rng(0);
+    EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(Zipf, SkewsTowardsHead)
+{
+    ZipfSampler zipf(100, 1.0);
+    Rng rng(3);
+    std::uint64_t head = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+        if (zipf.sample(rng) < 10)
+            ++head;
+    }
+    // With s=1.0 the first 10 of 100 ranks hold ~56% of the mass.
+    EXPECT_GT(static_cast<double>(head) / draws, 0.40);
+}
+
+TEST(Zipf, CoversDomain)
+{
+    ZipfSampler zipf(8, 0.5);
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(zipf.sample(rng));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Hashing, Mix64Avalanche)
+{
+    // Flipping one input bit should flip roughly half the output
+    // bits.
+    std::uint64_t x = 0x123456789abcdefull;
+    int total = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+        std::uint64_t diff = mix64(x) ^ mix64(x ^ (1ull << bit));
+        total += __builtin_popcountll(diff);
+    }
+    double avg = static_cast<double>(total) / 64.0;
+    EXPECT_GT(avg, 24.0);
+    EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hashing, KeyedHashesIndependent)
+{
+    int collisions = 0;
+    for (std::uint64_t x = 0; x < 1000; ++x) {
+        if ((keyedHash(x, 0) & 0xfff) == (keyedHash(x, 1) & 0xfff))
+            ++collisions;
+    }
+    // Expected collisions for 12-bit outputs: ~1000/4096.
+    EXPECT_LT(collisions, 20);
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter<2> c(0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.raw(), 3);
+    EXPECT_TRUE(c.taken());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter<2> c(3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.raw(), 0);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, WeaklyTakenBoundary)
+{
+    SatCounter<2> c(2);
+    EXPECT_TRUE(c.taken());
+    c.decrement();
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SignedSatCounter, SaturatesBothEnds)
+{
+    SignedSatCounter<6> w;
+    for (int i = 0; i < 100; ++i)
+        w.add(1);
+    EXPECT_EQ(w.raw(), 31);
+    for (int i = 0; i < 200; ++i)
+        w.add(-1);
+    EXPECT_EQ(w.raw(), -32);
+}
+
+TEST(Stats, GeomeanBasic)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Quartiles)
+{
+    QuartileSummary s = quartiles({1, 2, 3, 4, 5});
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.q1, 2.0);
+    EXPECT_DOUBLE_EQ(s.q3, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 100.0), 10.0);
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+    TextTable t("demo");
+    t.addRow({"name", "value"});
+    t.addRow({"x", TextTable::num(1.5, 2)});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+}
+
+} // namespace
+} // namespace athena

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * DRAM model tests: row-buffer behaviour, bandwidth enforcement on
+ * the shared data bus (the mechanism behind every crossover in the
+ * paper), request-type accounting, and a parameterized bandwidth
+ * sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace athena
+{
+namespace
+{
+
+DramParams
+params(double gbps)
+{
+    DramParams p;
+    p.bandwidthGBps = gbps;
+    return p;
+}
+
+TEST(Dram, CyclesPerLineMatchesBandwidth)
+{
+    Dram d(params(3.2));
+    // 64 B / 3.2 GB/s * 4 GHz = 80 cycles.
+    EXPECT_NEAR(d.cyclesPerLine(), 80.0, 0.5);
+    Dram d2(params(12.8));
+    EXPECT_NEAR(d2.cyclesPerLine(), 20.0, 0.5);
+}
+
+TEST(Dram, RowHitFasterThanRowMiss)
+{
+    Dram d(params(3.2));
+    Cycle first = d.serve(0, 0, AccessType::kDemandLoad);
+    // Same row (lines 0 and 1 share a 2 KB row on the same bank).
+    Dram d2(params(3.2));
+    d2.serve(0, 0, AccessType::kDemandLoad);
+    Cycle hit = d2.serve(100000, 1, AccessType::kDemandLoad);
+    Dram d3(params(3.2));
+    d3.serve(0, 0, AccessType::kDemandLoad);
+    // Different row on the same bank: line + rows*banks*lines.
+    Addr far_row = (2048 / kLineBytes) * 8 * 4;
+    Cycle miss = d3.serve(100000, far_row * 0 + 0 + 8 * (2048 / 64),
+                          AccessType::kDemandLoad);
+    EXPECT_LT(hit - 100000, miss - 100000);
+    EXPECT_GT(first, 0u);
+}
+
+TEST(Dram, BusSerializesBackToBackRequests)
+{
+    Dram d(params(3.2));
+    // 20 simultaneous requests to distinct banks/rows: total time is
+    // bounded below by 20 transfers on the shared bus.
+    Cycle last = 0;
+    for (int i = 0; i < 20; ++i) {
+        last = std::max(
+            last, d.serve(0, static_cast<Addr>(i) * 1024,
+                          AccessType::kDemandLoad));
+    }
+    EXPECT_GE(last, static_cast<Cycle>(20 * d.cyclesPerLine()));
+}
+
+TEST(Dram, IdleBusDoesNotQueue)
+{
+    Dram d(params(3.2));
+    Cycle t1 = d.serve(0, 0, AccessType::kDemandLoad);
+    // A request long after the first sees no queueing delay.
+    Cycle t2 = d.serve(1000000, 0, AccessType::kDemandLoad);
+    EXPECT_LT(t2 - 1000000, t1 + 300);
+}
+
+TEST(Dram, BacklogReflectsQueue)
+{
+    Dram d(params(3.2));
+    EXPECT_EQ(d.busBacklog(0), 0u);
+    for (int i = 0; i < 10; ++i)
+        d.serve(0, static_cast<Addr>(i) * 1024,
+                AccessType::kPrefetch);
+    EXPECT_GT(d.busBacklog(0), 0u);
+}
+
+TEST(Dram, CountersByRequestType)
+{
+    Dram d(params(3.2));
+    d.serve(0, 0, AccessType::kDemandLoad);
+    d.serve(0, 64, AccessType::kDemandStore);
+    d.serve(0, 128, AccessType::kPrefetch);
+    d.serve(0, 192, AccessType::kOcp);
+    const DramCounters &c = d.counters();
+    EXPECT_EQ(c.demandRequests, 2u);
+    EXPECT_EQ(c.prefetchRequests, 1u);
+    EXPECT_EQ(c.ocpRequests, 1u);
+    EXPECT_EQ(c.totalRequests(), 4u);
+    EXPECT_GT(c.busBusyCycles, 0u);
+}
+
+TEST(Dram, TakeCountersResetsWindowNotLifetime)
+{
+    Dram d(params(3.2));
+    d.serve(0, 0, AccessType::kDemandLoad);
+    DramCounters window = d.takeCounters();
+    EXPECT_EQ(window.demandRequests, 1u);
+    EXPECT_EQ(d.counters().demandRequests, 0u);
+    EXPECT_EQ(d.lifetime().demandRequests, 1u);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    Dram d(params(3.2));
+    for (int i = 0; i < 5; ++i)
+        d.serve(0, static_cast<Addr>(i) * 512,
+                AccessType::kDemandLoad);
+    d.reset();
+    EXPECT_EQ(d.lifetime().totalRequests(), 0u);
+    EXPECT_EQ(d.busBacklog(0), 0u);
+}
+
+/** Property: sustained throughput never exceeds the provisioned
+ *  bandwidth, at any configuration. */
+class DramBandwidth : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(DramBandwidth, ThroughputBoundedByProvisionedBandwidth)
+{
+    double gbps = GetParam();
+    Dram d(params(gbps));
+    const int n = 500;
+    Cycle done = 0;
+    // Sequential lines: row-buffer-friendly traffic can approach
+    // the provisioned bus bandwidth (random traffic is bank-bound
+    // well below peak at high provisioned bandwidths).
+    for (int i = 0; i < n; ++i) {
+        done = std::max(done, d.serve(0, static_cast<Addr>(i),
+                                      AccessType::kDemandLoad));
+    }
+    double bytes = static_cast<double>(n) * kLineBytes;
+    double seconds = static_cast<double>(done) / (4.0e9);
+    double achieved_gbps = bytes / seconds / 1.0e9;
+    EXPECT_LE(achieved_gbps, gbps * 1.02);
+    // And it should achieve at least 60% of peak under full load.
+    EXPECT_GE(achieved_gbps, gbps * 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, DramBandwidth,
+                         ::testing::Values(1.6, 3.2, 6.4, 12.8,
+                                           25.6));
+
+} // namespace
+} // namespace athena

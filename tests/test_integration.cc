@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's directional
+ * claims at reduced scale: coordination beats naive combination on
+ * adverse workloads, Athena adapts across cache designs, and the
+ * prefetcher-only mode works without an OCP.
+ *
+ * Thresholds are deliberately loose — these tests check *signs and
+ * orderings*, not absolute numbers; the benches report the full
+ * figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/runner.hh"
+
+namespace athena
+{
+namespace
+{
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setenv("ATHENA_SIM_INSTR", "200000", 1);
+        setenv("ATHENA_WARMUP_INSTR", "50000", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("ATHENA_SIM_INSTR");
+        unsetenv("ATHENA_WARMUP_INSTR");
+    }
+
+    double
+    speedup(PolicyKind policy, const std::string &workload,
+            CacheDesign design = CacheDesign::kCd1)
+    {
+        ExperimentRunner runner;
+        auto workloads = evalWorkloads();
+        const WorkloadSpec &spec = findWorkload(workloads, workload);
+        SystemConfig cfg = makeDesignConfig(design, policy);
+        double base = runner.baselineIpc(cfg, spec);
+        return runner.runOne(cfg, spec).ipc() / base;
+    }
+};
+
+TEST_F(IntegrationTest, PrefetchHelpsStreamHurtsChase)
+{
+    EXPECT_GT(speedup(PolicyKind::kPfOnly, "462.libquantum-714B"),
+              1.3);
+    EXPECT_LT(speedup(PolicyKind::kPfOnly, "605.mcf_s-1554B"), 1.02);
+}
+
+TEST_F(IntegrationTest, OcpHelpsChase)
+{
+    EXPECT_GT(speedup(PolicyKind::kOcpOnly, "605.mcf_s-1554B"),
+              1.03);
+}
+
+TEST_F(IntegrationTest, AthenaProtectsAdverseWorkload)
+{
+    double naive = speedup(PolicyKind::kNaive, "429.mcf-184B");
+    double athena = speedup(PolicyKind::kAthena, "429.mcf-184B");
+    EXPECT_GT(athena, naive - 0.02)
+        << "Athena must not lose to naive on an adverse workload";
+    EXPECT_GT(athena, 0.95)
+        << "Athena must roughly hold the no-speculation baseline";
+}
+
+TEST_F(IntegrationTest, AthenaExploitsFriendlyWorkload)
+{
+    double athena =
+        speedup(PolicyKind::kAthena, "462.libquantum-714B");
+    EXPECT_GT(athena, 1.25)
+        << "Athena must capture most of the prefetching gain";
+}
+
+TEST_F(IntegrationTest, AthenaWorksInCd4)
+{
+    double naive =
+        speedup(PolicyKind::kNaive, "605.mcf_s-1554B",
+                CacheDesign::kCd4);
+    double athena =
+        speedup(PolicyKind::kAthena, "605.mcf_s-1554B",
+                CacheDesign::kCd4);
+    EXPECT_GT(athena, naive - 0.06)
+        << "small-scale learning transient must stay bounded";
+}
+
+TEST_F(IntegrationTest, PrefetcherOnlyModeRunsWithoutOcp)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    const WorkloadSpec &spec =
+        findWorkload(workloads, "429.mcf-184B");
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd3, PolicyKind::kAthena);
+    cfg.ocp = OcpKind::kNone;
+    cfg.athena.prefetcherOnlyMode = true;
+    double base = runner.baselineIpc(cfg, spec);
+    SimResult res = runner.runOne(cfg, spec);
+    EXPECT_EQ(res.cores[0].ocpPredictions, 0u);
+    EXPECT_GT(res.ipc() / base, 0.88)
+        << "prefetcher-only Athena must hold near baseline on an "
+           "adverse workload";
+}
+
+TEST_F(IntegrationTest, QuantizedQVStoreStillLearns)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    const WorkloadSpec &spec =
+        findWorkload(workloads, "462.libquantum-714B");
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+    cfg.athena.qv.quantized = true;
+    double base = runner.baselineIpc(cfg, spec);
+    double s = runner.runOne(cfg, spec).ipc() / base;
+    EXPECT_GT(s, 1.15) << "the 8-bit QVStore path must still learn "
+                          "to enable prefetching";
+}
+
+TEST_F(IntegrationTest, HigherBandwidthFavorsNaive)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    const WorkloadSpec &spec =
+        findWorkload(workloads, "605.mcf_s-1554B");
+    SystemConfig narrow =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    narrow.bandwidthGBps = 1.6;
+    SystemConfig wide = narrow;
+    wide.bandwidthGBps = 12.8;
+    double s_narrow = runner.runOne(narrow, spec).ipc() /
+                      runner.baselineIpc(narrow, spec);
+    double s_wide = runner.runOne(wide, spec).ipc() /
+                    runner.baselineIpc(wide, spec);
+    EXPECT_GT(s_wide, s_narrow)
+        << "bandwidth headroom must soften the naive penalty";
+}
+
+} // namespace
+} // namespace athena

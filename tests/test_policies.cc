@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Coordination policy tests: static policies, HPAC's threshold
+ * dynamics and OCP probing, MAB's DUCB arm selection, and TLP's
+ * level-restricted filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coord/hpac.hh"
+#include "coord/mab.hh"
+#include "coord/simple.hh"
+#include "coord/tlp.hh"
+
+namespace athena
+{
+namespace
+{
+
+EpochStats
+makeStats(double pf_acc, double ocp_acc, double bw,
+          double pollution = 0.0, double ipc = 0.5)
+{
+    EpochStats s;
+    s.instructions = 8000;
+    s.cycles = static_cast<std::uint64_t>(8000 / ipc);
+    s.loads = 2000;
+    s.branches = 800;
+    s.branchMispredicts = 10;
+    s.pfIssued[0] = 200;
+    s.pfUsed[0] =
+        static_cast<std::uint64_t>(200 * pf_acc);
+    s.pfIssued[1] = 200;
+    s.pfUsed[1] =
+        static_cast<std::uint64_t>(200 * pf_acc);
+    s.ocpPredictions = 100;
+    s.ocpCorrect = static_cast<std::uint64_t>(100 * ocp_acc);
+    s.bandwidthUsage = bw;
+    s.llcMisses = 100;
+    s.pollutionMisses =
+        static_cast<std::uint64_t>(100 * pollution);
+    s.llcMissLatency = 25000;
+    s.dramDemand = 80;
+    s.dramPrefetch = 40;
+    s.dramOcp = 30;
+    return s;
+}
+
+TEST(StaticPolicies, DecisionsMatchTheirNames)
+{
+    auto naive = makeNaivePolicy();
+    CoordDecision d = naive->onEpochEnd(EpochStats{});
+    EXPECT_TRUE(d.pfEnabled(0));
+    EXPECT_TRUE(d.pfEnabled(1));
+    EXPECT_TRUE(d.ocpEnable);
+
+    auto off = makeAllOffPolicy();
+    d = off->onEpochEnd(EpochStats{});
+    EXPECT_FALSE(d.pfEnabled(0));
+    EXPECT_FALSE(d.ocpEnable);
+
+    auto pf = makePfOnlyPolicy();
+    d = pf->onEpochEnd(EpochStats{});
+    EXPECT_TRUE(d.pfEnabled(0));
+    EXPECT_FALSE(d.ocpEnable);
+
+    auto ocp = makeOcpOnlyPolicy();
+    d = ocp->onEpochEnd(EpochStats{});
+    EXPECT_FALSE(d.pfEnabled(0));
+    EXPECT_TRUE(d.ocpEnable);
+}
+
+TEST(Hpac, RampsDownOnLowAccuracy)
+{
+    HpacPolicy hpac;
+    unsigned initial = hpac.level(0);
+    for (int i = 0; i < 10; ++i)
+        hpac.onEpochEnd(makeStats(0.1, 0.9, 0.3));
+    EXPECT_LT(hpac.level(0), initial);
+    EXPECT_EQ(hpac.level(0), 1u) << "should bottom out at min";
+}
+
+TEST(Hpac, RampsUpOnHighAccuracyLowPressure)
+{
+    HpacPolicy hpac;
+    for (int i = 0; i < 10; ++i)
+        hpac.onEpochEnd(makeStats(0.9, 0.9, 0.3));
+    EXPECT_EQ(hpac.level(0), 5u);
+    CoordDecision d = hpac.onEpochEnd(makeStats(0.9, 0.9, 0.3));
+    EXPECT_DOUBLE_EQ(d.degreeScale[0], 1.0);
+}
+
+TEST(Hpac, ThrottlesUnderBandwidthPressureRegardlessOfAccuracy)
+{
+    HpacPolicy hpac;
+    for (int i = 0; i < 10; ++i)
+        hpac.onEpochEnd(makeStats(0.95, 0.9, 0.95));
+    EXPECT_EQ(hpac.level(0), 1u)
+        << "HPAC's global control is accuracy-blind under pressure";
+}
+
+TEST(Hpac, GatesOcpOnLowAccuracyAndProbes)
+{
+    HpacPolicy hpac;
+    CoordDecision d = hpac.onEpochEnd(makeStats(0.5, 0.1, 0.3));
+    EXPECT_FALSE(d.ocpEnable);
+    // Probing re-enables within the probe period.
+    bool probed = false;
+    for (int i = 0; i < 20; ++i) {
+        EpochStats s = makeStats(0.5, 0.0, 0.3);
+        s.ocpPredictions = 0; // gated: no feedback
+        s.ocpCorrect = 0;
+        d = hpac.onEpochEnd(s);
+        if (d.ocpEnable)
+            probed = true;
+    }
+    EXPECT_TRUE(probed);
+}
+
+TEST(Hpac, HoldsLevelWithoutFeedback)
+{
+    HpacPolicy hpac;
+    unsigned level = hpac.level(0);
+    EpochStats s = makeStats(0.0, 0.9, 0.3);
+    s.pfIssued[0] = 0;
+    s.pfUsed[0] = 0;
+    for (int i = 0; i < 5; ++i)
+        hpac.onEpochEnd(s);
+    EXPECT_EQ(hpac.level(0), level);
+}
+
+TEST(Mab, ArmCountMatchesPrefetcherCount)
+{
+    MabPolicy one(1);
+    EXPECT_EQ(one.numArms(), 4u);
+    MabPolicy two(2);
+    EXPECT_EQ(two.numArms(), 8u);
+}
+
+TEST(Mab, ConvergesToBestArm)
+{
+    MabPolicy mab(1);
+    // Synthetic bandit: arm decisions that enable the OCP get
+    // higher IPC.
+    std::map<bool, double> ipc = {{false, 0.3}, {true, 0.6}};
+    CoordDecision current = mab.onEpochEnd(makeStats(0, 0, 0));
+    unsigned ocp_picks = 0;
+    const unsigned epochs = 3000;
+    for (unsigned i = 0; i < epochs; ++i) {
+        EpochStats s =
+            makeStats(0.5, 0.9, 0.5, 0.0, ipc[current.ocpEnable]);
+        current = mab.onEpochEnd(s);
+        if (i > epochs / 2 && current.ocpEnable)
+            ++ocp_picks;
+    }
+    EXPECT_GT(ocp_picks, epochs / 2 * 7 / 10)
+        << "DUCB should exploit the better arms most of the time";
+}
+
+TEST(Mab, TriesEveryArmInitially)
+{
+    MabPolicy mab(2);
+    std::set<unsigned> arms;
+    for (int i = 0; i < 16; ++i) {
+        mab.onEpochEnd(makeStats(0.5, 0.5, 0.5));
+        arms.insert(mab.currentArm());
+    }
+    EXPECT_EQ(arms.size(), 8u);
+}
+
+TEST(Tlp, FiltersOnlyL1dPrefetches)
+{
+    TlpPolicy tlp;
+    // Train: everything at PC 0xF00 goes off-chip.
+    for (int i = 0; i < 4000; ++i) {
+        tlp.onDemandResolved(0xF00,
+                             static_cast<Addr>(i) << kLineShift,
+                             true);
+    }
+    Addr addr = 0x9999000;
+    EXPECT_TRUE(
+        tlp.filterPrefetch(CacheLevel::kL1D, 0xF00, addr))
+        << "predicted-off-chip L1D prefetch must be dropped";
+    EXPECT_FALSE(
+        tlp.filterPrefetch(CacheLevel::kL2C, 0xF00, addr))
+        << "TLP has no control beyond L1D by design";
+}
+
+TEST(Tlp, DoesNotFilterOnChipPredictedPrefetches)
+{
+    TlpPolicy tlp;
+    for (int i = 0; i < 4000; ++i) {
+        tlp.onDemandResolved(0xE00,
+                             static_cast<Addr>(i) << kLineShift,
+                             false);
+    }
+    EXPECT_FALSE(
+        tlp.filterPrefetch(CacheLevel::kL1D, 0xE00, 0x8888000));
+}
+
+TEST(Tlp, EpochDecisionKeepsEverythingOn)
+{
+    TlpPolicy tlp;
+    CoordDecision d = tlp.onEpochEnd(makeStats(0.5, 0.5, 0.5));
+    EXPECT_TRUE(d.pfEnabled(0));
+    EXPECT_TRUE(d.ocpEnable);
+}
+
+} // namespace
+} // namespace athena

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * QVStore tests: SARSA fixed-point behaviour, argmax and
+ * mean-of-others (Algorithm 1 inputs), tile-coded generalization
+ * across the fine/coarse plane split, and float-vs-8-bit-quantized
+ * parity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "athena/qvstore.hh"
+
+namespace athena
+{
+namespace
+{
+
+QVStoreParams
+floatParams()
+{
+    QVStoreParams p;
+    p.quantized = false;
+    p.initQ = 0.0;
+    return p;
+}
+
+TEST(QVStore, InitializedToInitQ)
+{
+    QVStoreParams p = floatParams();
+    p.initQ = 0.5;
+    QVStore qv(p);
+    EXPECT_NEAR(qv.q(0x123, 2), 0.5, 1e-9);
+}
+
+TEST(QVStore, RepeatedUpdatesConvergeToReward)
+{
+    // With a self-loop (s, a) -> (s, a), Q converges to
+    // r / (1 - gamma).
+    QVStoreParams p = floatParams();
+    p.alpha = 0.3;
+    p.gamma = 0.6;
+    QVStore qv(p);
+    const std::uint32_t s = 0x2a;
+    for (int i = 0; i < 500; ++i)
+        qv.update(s, 1, 1.0, s, 1);
+    EXPECT_NEAR(qv.q(s, 1), 1.0 / (1.0 - 0.6), 0.05);
+}
+
+TEST(QVStore, ArgmaxPicksHighest)
+{
+    QVStore qv(floatParams());
+    const std::uint32_t s = 0x15;
+    for (int i = 0; i < 200; ++i)
+        qv.update(s, 2, 0.8, s, 2);
+    EXPECT_EQ(qv.argmax(s), 2u);
+}
+
+TEST(QVStore, ArgmaxTiesResolveToMostSpeculative)
+{
+    QVStoreParams p = floatParams();
+    p.initQ = 1.0;
+    QVStore qv(p);
+    // All-equal optimistic init: ties go to the highest index
+    // (the "both" action), so the agent starts from the Naive
+    // prior.
+    EXPECT_EQ(qv.argmax(0x77), p.actions - 1);
+}
+
+TEST(QVStore, MeanOfOthersExcludesSelected)
+{
+    QVStore qv(floatParams());
+    const std::uint32_t s = 9;
+    for (int i = 0; i < 300; ++i)
+        qv.update(s, 3, 1.2, s, 3);
+    double others = qv.meanOfOthers(s, 3);
+    EXPECT_LT(others, qv.q(s, 3));
+    EXPECT_NEAR(others, (qv.q(s, 0) + qv.q(s, 1) + qv.q(s, 2)) / 3.0,
+                1e-9);
+}
+
+TEST(QVStore, NegativeRewardsLowerQ)
+{
+    QVStore qv(floatParams());
+    const std::uint32_t s = 4;
+    for (int i = 0; i < 100; ++i)
+        qv.update(s, 0, -1.0, s, 0);
+    EXPECT_LT(qv.q(s, 0), -1.0);
+}
+
+TEST(QVStore, TileCodedPlanesGeneralizeToNeighbours)
+{
+    // Two states differing by one quantization level in one feature
+    // share coarse-plane rows, so training one should move the
+    // other; two far-apart states should share (almost) nothing.
+    QVStoreParams p = floatParams();
+    p.stateFields = 4;
+    p.bitsPerField = 2;
+    QVStore qv(p);
+    // Feature layout: 2 bits per field, 4 fields.
+    std::uint32_t s = 0b01101001;
+    std::uint32_t neighbour = 0b01101010; // last field 01 -> 10
+    std::uint32_t far = 0b11000011;       // >=2 levels off everywhere
+    for (int i = 0; i < 200; ++i)
+        qv.update(s, 1, 1.0, s, 1);
+    double q_s = qv.q(s, 1);
+    double q_near = qv.q(neighbour, 1);
+    double q_far = qv.q(far, 1);
+    EXPECT_GT(q_near, 0.2 * q_s)
+        << "neighbouring states must share coarse planes";
+    EXPECT_LT(q_far, q_near)
+        << "distant states must share less than neighbours";
+}
+
+TEST(QVStore, QuantizedTracksFloatWithinTolerance)
+{
+    QVStoreParams fp = floatParams();
+    fp.alpha = 0.4;
+    QVStoreParams qp = fp;
+    qp.quantized = true;
+    QVStore f(fp), q(qp);
+    const std::uint32_t s = 0x33;
+    for (int i = 0; i < 400; ++i) {
+        f.update(s, 2, 0.5, s, 2);
+        q.update(s, 2, 0.5, s, 2);
+    }
+    // Stochastic rounding keeps the 8-bit path near the float path
+    // (within a few LSBs of the s3.4 grid summed over 8 planes).
+    EXPECT_NEAR(q.q(s, 2), f.q(s, 2), 0.5);
+}
+
+TEST(QVStore, QuantizedSaturatesGracefully)
+{
+    QVStoreParams p;
+    p.quantized = true;
+    p.initQ = 0.0;
+    QVStore qv(p);
+    const std::uint32_t s = 0x44;
+    for (int i = 0; i < 5000; ++i)
+        qv.update(s, 0, 2.0, s, 0);
+    // s3.4 per-plane entries clamp at ~7.94 each; the sum must be
+    // finite and bounded.
+    EXPECT_LE(qv.q(s, 0), 8.0 * 8.0);
+    EXPECT_GT(qv.q(s, 0), 1.0);
+}
+
+TEST(QVStore, ResetRestoresInit)
+{
+    QVStoreParams p = floatParams();
+    p.initQ = 0.25;
+    QVStore qv(p);
+    qv.update(7, 1, 3.0, 7, 1);
+    qv.reset();
+    EXPECT_NEAR(qv.q(7, 1), 0.25, 1e-9);
+}
+
+TEST(QVStore, StorageMatchesTable4)
+{
+    QVStore qv; // default 8 x 64 x 4 x 8 bits
+    EXPECT_EQ(qv.storageBits(), 8u * 64 * 4 * 8);
+    EXPECT_EQ(qv.storageBits() / 8 / 1024, 2u); // 2 KB
+}
+
+} // namespace
+} // namespace athena

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Composite reward framework tests (section 4.3): sign conventions,
+ * scale normalization, the uncorrelated subtraction that isolates
+ * the agent's impact from workload phase behaviour, and the
+ * IPC-only strawman.
+ */
+
+#include <gtest/gtest.h>
+
+#include "athena/reward.hh"
+
+namespace athena
+{
+namespace
+{
+
+EpochStats
+epoch(std::uint64_t cycles, std::uint64_t loads = 2400,
+      std::uint64_t mispredicts = 40, std::uint64_t llc_misses = 80,
+      std::uint64_t llc_lat = 20000)
+{
+    EpochStats s;
+    s.instructions = 8000;
+    s.cycles = cycles;
+    s.loads = loads;
+    s.branchMispredicts = mispredicts;
+    s.llcMisses = llc_misses;
+    s.llcMissLatency = llc_lat;
+    return s;
+}
+
+TEST(ScaledDelta, SignConvention)
+{
+    // Fewer cycles than before -> positive (improvement).
+    EXPECT_GT(CompositeReward::scaledDelta(10000, 8000, 9000, 8000,
+                                           2000.0),
+              0.0);
+    EXPECT_LT(CompositeReward::scaledDelta(9000, 8000, 10000, 8000,
+                                           2000.0),
+              0.0);
+    EXPECT_DOUBLE_EQ(
+        CompositeReward::scaledDelta(9000, 8000, 9000, 8000, 2000.0),
+        0.0);
+}
+
+TEST(ScaledDelta, NormalizesPerKiloInstruction)
+{
+    // Same per-KI values with different epoch lengths -> zero.
+    EXPECT_DOUBLE_EQ(CompositeReward::scaledDelta(1000, 8000, 2000,
+                                                  16000, 100.0),
+                     0.0);
+}
+
+TEST(ScaledDelta, ClampsPathologicalEpochs)
+{
+    EXPECT_DOUBLE_EQ(CompositeReward::scaledDelta(
+                         1000000, 8000, 0, 8000, 10.0),
+                     2.0);
+    EXPECT_DOUBLE_EQ(CompositeReward::scaledDelta(
+                         0, 8000, 1000000, 8000, 10.0),
+                     -2.0);
+}
+
+TEST(ScaledDelta, ZeroInstructionEpochsAreNeutral)
+{
+    EXPECT_DOUBLE_EQ(
+        CompositeReward::scaledDelta(100, 0, 50, 8000, 10.0), 0.0);
+}
+
+TEST(CompositeReward, CycleImprovementIsPositiveReward)
+{
+    CompositeReward reward;
+    EXPECT_GT(reward.compute(epoch(16000), epoch(12000)), 0.0);
+    EXPECT_LT(reward.compute(epoch(12000), epoch(16000)), 0.0);
+}
+
+TEST(CompositeReward, PhaseChangeIsCancelledByUncorrelated)
+{
+    // A "lighter phase" epoch: fewer loads AND proportionally fewer
+    // cycles. The uncorrelated component must absorb most of the
+    // apparent gain.
+    CompositeReward with_uncorr(RewardWeights{}, true);
+    CompositeReward without_uncorr(RewardWeights{}, false);
+
+    EpochStats heavy = epoch(16000, 3200, 80);
+    EpochStats light = epoch(12000, 2400, 40);
+
+    double r_with = with_uncorr.compute(heavy, light);
+    double r_without = without_uncorr.compute(heavy, light);
+    EXPECT_LT(r_with, r_without)
+        << "the uncorrelated component must subtract the "
+           "phase-driven part of the cycle change";
+}
+
+TEST(CompositeReward, WeightsScaleComponents)
+{
+    RewardWeights heavy_cycle;
+    heavy_cycle.lambdaCycle = 3.2;
+    CompositeReward a{RewardWeights{}, true};
+    CompositeReward b{heavy_cycle, true};
+    EpochStats prev = epoch(16000);
+    EpochStats cur = epoch(12000);
+    EXPECT_NEAR(b.correlated(prev, cur),
+                2.0 * a.correlated(prev, cur), 1e-9);
+}
+
+TEST(CompositeReward, Table3WeightsZeroOutLlcTerms)
+{
+    // Default weights: lambda_LLCm = lambda_LLCt = 0 (Table 3), so
+    // only cycles contribute to the correlated part.
+    CompositeReward reward;
+    EpochStats prev = epoch(12000, 2400, 40, 500, 90000);
+    EpochStats cur = epoch(12000, 2400, 40, 50, 9000);
+    EXPECT_DOUBLE_EQ(reward.correlated(prev, cur), 0.0);
+}
+
+TEST(CompositeReward, OverallIsCorrMinusUncorr)
+{
+    CompositeReward reward;
+    EpochStats prev = epoch(16000, 3000, 60);
+    EpochStats cur = epoch(12000, 2500, 30);
+    EXPECT_NEAR(reward.compute(prev, cur),
+                reward.correlated(prev, cur) -
+                    reward.uncorrelated(prev, cur),
+                1e-12);
+}
+
+TEST(IpcReward, RelativeIpcChange)
+{
+    IpcReward reward;
+    EXPECT_GT(reward.compute(epoch(16000), epoch(12000)), 0.0);
+    EXPECT_LT(reward.compute(epoch(12000), epoch(16000)), 0.0);
+    EXPECT_DOUBLE_EQ(reward.compute(epoch(12000), epoch(12000)),
+                     0.0);
+}
+
+} // namespace
+} // namespace athena

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ExperimentRunner tests: baseline caching, category reduction,
+ * adverse-set classification, parallel determinism, and the
+ * multi-core mix speedup metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/runner.hh"
+
+namespace athena
+{
+namespace
+{
+
+class RunnerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Keep runner-level tests fast regardless of the ambient
+        // environment.
+        setenv("ATHENA_SIM_INSTR", "40000", 1);
+        setenv("ATHENA_WARMUP_INSTR", "10000", 1);
+        setenv("ATHENA_MC_INSTR", "20000", 1);
+        setenv("ATHENA_MC_WARMUP", "5000", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("ATHENA_SIM_INSTR");
+        unsetenv("ATHENA_WARMUP_INSTR");
+        unsetenv("ATHENA_MC_INSTR");
+        unsetenv("ATHENA_MC_WARMUP");
+    }
+};
+
+TEST_F(RunnerTest, EnvControlsInstructionCounts)
+{
+    ExperimentRunner runner;
+    EXPECT_EQ(runner.simInstructions, 40000u);
+    EXPECT_EQ(runner.warmupInstructions, 10000u);
+}
+
+TEST_F(RunnerTest, BaselineCacheIsConsistent)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    double a = runner.baselineIpc(cfg, workloads[0]);
+    double b = runner.baselineIpc(cfg, workloads[0]);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+}
+
+TEST_F(RunnerTest, BaselineDiffersAcrossBandwidths)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    SystemConfig narrow =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    narrow.bandwidthGBps = 1.6;
+    SystemConfig wide = narrow;
+    wide.bandwidthGBps = 12.8;
+    double ipc_n = runner.baselineIpc(narrow, workloads[0]);
+    double ipc_w = runner.baselineIpc(wide, workloads[0]);
+    EXPECT_NE(ipc_n, ipc_w) << "cache key must include bandwidth";
+}
+
+TEST_F(RunnerTest, SpeedupsCoverAllWorkloads)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    std::vector<WorkloadSpec> subset(workloads.begin(),
+                                     workloads.begin() + 8);
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kOcpOnly);
+    auto rows = runner.speedups(cfg, subset);
+    ASSERT_EQ(rows.size(), subset.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].workload, subset[i].name);
+        EXPECT_GT(rows[i].speedup, 0.2);
+        EXPECT_LT(rows[i].speedup, 5.0);
+    }
+}
+
+TEST_F(RunnerTest, SummarizeSplitsCategories)
+{
+    std::vector<SpeedupRow> rows;
+    auto add = [&](const char *name, Suite suite, double speedup) {
+        SpeedupRow row;
+        row.workload = name;
+        row.suite = suite;
+        row.speedup = speedup;
+        rows.push_back(row);
+    };
+    add("a", Suite::kSpec06, 2.0);
+    add("b", Suite::kParsec, 1.0);
+    add("c", Suite::kLigra, 0.5);
+    add("d", Suite::kCvp, 1.0);
+    std::set<std::string> adverse = {"c"};
+    CategorySummary s = ExperimentRunner::summarize(rows, adverse);
+    EXPECT_DOUBLE_EQ(s.spec, 2.0);
+    EXPECT_DOUBLE_EQ(s.parsec, 1.0);
+    EXPECT_DOUBLE_EQ(s.ligra, 0.5);
+    EXPECT_DOUBLE_EQ(s.adverse, 0.5);
+    EXPECT_NEAR(s.friendly, std::pow(2.0, 1.0 / 3.0), 1e-9);
+    EXPECT_NEAR(s.overall, 1.0, 1e-9);
+}
+
+TEST_F(RunnerTest, AdverseSetIsCachedAndSane)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    std::vector<WorkloadSpec> subset(workloads.begin(),
+                                     workloads.begin() + 12);
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kPfOnly);
+    auto a = runner.adverseSet(cfg, subset);
+    auto b = runner.adverseSet(cfg, subset);
+    EXPECT_EQ(a, b);
+    EXPECT_LE(a.size(), subset.size());
+}
+
+TEST_F(RunnerTest, MixSpeedupIsPositive)
+{
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kOcpOnly);
+    cfg.cores = 2;
+    std::vector<WorkloadSpec> mix = {workloads[0], workloads[15]};
+    double s = runner.mixSpeedup(cfg, mix);
+    EXPECT_GT(s, 0.3);
+    EXPECT_LT(s, 4.0);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingle)
+{
+    parallelFor(0, [](std::size_t) { FAIL(); });
+    int count = 0;
+    parallelFor(1, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count, 1);
+}
+
+} // namespace
+} // namespace athena

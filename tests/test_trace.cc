@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the workload substrate: determinism, zoo population
+ * structure, pattern properties (including the regression tests for
+ * the short-cycle pointer chase and the phase-state persistence
+ * bugs), and a parameterized sanity sweep over all 100 evaluation
+ * workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/mixes.hh"
+#include "trace/workload.hh"
+#include "trace/zoo.hh"
+
+namespace athena
+{
+namespace
+{
+
+WorkloadSpec
+simpleSpec(Pattern pattern, double hot_frac = 0.0)
+{
+    WorkloadSpec spec;
+    spec.name = "test";
+    spec.seed = 1234;
+    PhaseParams p;
+    p.pattern = pattern;
+    p.instructions = 100000;
+    p.footprintBytes = 128ull << 20;
+    p.hotFrac = hot_frac;
+    p.loadFrac = 0.5;
+    spec.phases = {p};
+    return spec;
+}
+
+TEST(Workload, DeterministicReplay)
+{
+    auto spec = simpleSpec(Pattern::kIrregular, 0.3);
+    SyntheticWorkload a(spec), b(spec);
+    for (int i = 0; i < 5000; ++i) {
+        TraceRecord ra = a.next();
+        TraceRecord rb = b.next();
+        EXPECT_EQ(ra.pc, rb.pc);
+        EXPECT_EQ(ra.addr, rb.addr);
+        EXPECT_EQ(static_cast<int>(ra.kind),
+                  static_cast<int>(rb.kind));
+    }
+}
+
+TEST(Workload, ResetRestartsStream)
+{
+    auto spec = simpleSpec(Pattern::kStream);
+    SyntheticWorkload w(spec);
+    std::vector<Addr> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(w.next().addr);
+    w.reset();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(w.next().addr, first[i]);
+}
+
+TEST(Workload, StreamAdvancesMonotonically)
+{
+    auto spec = simpleSpec(Pattern::kStream);
+    SyntheticWorkload w(spec);
+    Addr last = 0;
+    bool first = true;
+    for (int i = 0; i < 2000; ++i) {
+        TraceRecord r = w.next();
+        if (r.kind != InstrKind::kLoad)
+            continue;
+        if (!first)
+            EXPECT_GT(r.addr, last);
+        last = r.addr;
+        first = false;
+    }
+}
+
+TEST(Workload, ChaseDoesNotCollapseIntoShortCycle)
+{
+    // Regression: a hash-of-current-address walk collapses into a
+    // ~sqrt(N) cycle that fits in the L2. The LCG-permutation walk
+    // must keep producing fresh lines.
+    auto spec = simpleSpec(Pattern::kChase);
+    SyntheticWorkload w(spec);
+    std::set<Addr> lines;
+    unsigned loads = 0;
+    while (loads < 20000) {
+        TraceRecord r = w.next();
+        if (r.kind != InstrKind::kLoad)
+            continue;
+        ++loads;
+        lines.insert(lineNumber(r.addr));
+    }
+    // At least 95% of chase targets must be distinct lines.
+    EXPECT_GT(lines.size(), 19000u);
+}
+
+TEST(Workload, ChaseLoadsAreDependent)
+{
+    auto spec = simpleSpec(Pattern::kChase);
+    SyntheticWorkload w(spec);
+    unsigned dependent = 0, loads = 0;
+    for (int i = 0; i < 10000; ++i) {
+        TraceRecord r = w.next();
+        if (r.kind == InstrKind::kLoad) {
+            ++loads;
+            if (r.dependsOnPrevLoad)
+                ++dependent;
+        }
+    }
+    EXPECT_EQ(dependent, loads); // hotFrac = 0 here
+}
+
+TEST(Workload, PhaseStatePersistsAcrossReentry)
+{
+    // Regression: with per-entry cursor resets, a re-entered stream
+    // phase re-touches the same prefix and the caches warm up.
+    WorkloadSpec spec;
+    spec.name = "phased";
+    spec.seed = 7;
+    PhaseParams a;
+    a.pattern = Pattern::kStream;
+    a.instructions = 1000;
+    a.footprintBytes = 512ull << 20;
+    a.hotFrac = 0.0;
+    a.loadFrac = 1.0;
+    a.branchFrac = 0.0;
+    a.storeFrac = 0.0;
+    PhaseParams b = a;
+    b.pattern = Pattern::kIrregular;
+    spec.phases = {a, b};
+
+    SyntheticWorkload w(spec);
+    std::set<Addr> stream_lines;
+    for (int i = 0; i < 8000; ++i) {
+        TraceRecord r = w.next();
+        if (r.kind == InstrKind::kLoad && (r.addr >> 40) ==
+            [&] {
+                static Addr base_hi = r.addr >> 40;
+                return base_hi;
+            }()) {
+        }
+    }
+    // Directly verify: first phase visit touches N distinct lines;
+    // the second visit continues, so total distinct ~2N.
+    SyntheticWorkload w2(spec);
+    auto count_phase_lines = [&](std::set<Addr> &acc) {
+        for (int i = 0; i < 1000; ++i) {
+            TraceRecord r = w2.next();
+            if (r.kind == InstrKind::kLoad)
+                acc.insert(lineNumber(r.addr));
+        }
+    };
+    std::set<Addr> pass1, pass2;
+    count_phase_lines(pass1); // phase a, first entry
+    std::set<Addr> skip;
+    count_phase_lines(skip);  // phase b
+    count_phase_lines(pass2); // phase a, second entry
+    // The second entry must touch (almost) entirely new addresses.
+    unsigned overlap = 0;
+    for (Addr line : pass2) {
+        if (pass1.count(line))
+            ++overlap;
+    }
+    EXPECT_LT(overlap, pass2.size() / 4);
+}
+
+TEST(Workload, BranchNoiseProducesBothOutcomes)
+{
+    auto spec = simpleSpec(Pattern::kCompute, 0.9);
+    spec.phases[0].branchFrac = 0.5;
+    spec.phases[0].loadFrac = 0.2;
+    spec.phases[0].branchNoise = 1.0;
+    SyntheticWorkload w(spec);
+    unsigned taken = 0, branches = 0;
+    for (int i = 0; i < 20000; ++i) {
+        TraceRecord r = w.next();
+        if (r.kind == InstrKind::kBranch) {
+            ++branches;
+            taken += r.taken ? 1 : 0;
+        }
+    }
+    ASSERT_GT(branches, 1000u);
+    double rate = static_cast<double>(taken) / branches;
+    EXPECT_GT(rate, 0.4);
+    EXPECT_LT(rate, 0.6);
+}
+
+TEST(Zoo, PopulationStructure)
+{
+    auto workloads = evalWorkloads();
+    ASSERT_EQ(workloads.size(), 100u);
+    std::map<Suite, unsigned> counts;
+    std::set<std::string> names;
+    for (const auto &spec : workloads) {
+        counts[spec.suite]++;
+        names.insert(spec.name);
+    }
+    EXPECT_EQ(names.size(), 100u) << "duplicate workload names";
+    EXPECT_EQ(counts[Suite::kSpec06], 29u);
+    EXPECT_EQ(counts[Suite::kSpec17], 20u);
+    EXPECT_EQ(counts[Suite::kParsec], 13u);
+    EXPECT_EQ(counts[Suite::kLigra], 13u);
+    EXPECT_EQ(counts[Suite::kCvp], 25u);
+}
+
+TEST(Zoo, TuningSetDisjointFromEval)
+{
+    auto eval = evalWorkloads();
+    auto tuning = tuningWorkloads();
+    EXPECT_EQ(tuning.size(), 20u);
+    std::set<std::string> eval_names;
+    for (const auto &s : eval)
+        eval_names.insert(s.name);
+    for (const auto &s : tuning) {
+        EXPECT_EQ(s.suite, Suite::kTuning);
+        EXPECT_FALSE(eval_names.count(s.name)) << s.name;
+    }
+}
+
+TEST(Zoo, Dpc4GroupsPresent)
+{
+    auto dpc4 = dpc4Workloads();
+    EXPECT_EQ(dpc4.size(), 24u);
+    for (const auto &s : dpc4)
+        EXPECT_EQ(s.suite, Suite::kDpc4);
+}
+
+TEST(Zoo, FindWorkloadThrowsOnUnknown)
+{
+    auto workloads = evalWorkloads();
+    EXPECT_THROW(findWorkload(workloads, "no_such_trace"),
+                 std::out_of_range);
+    EXPECT_EQ(findWorkload(workloads, "605.mcf_s-1554B").name,
+              "605.mcf_s-1554B");
+}
+
+TEST(Mixes, CategoriesAndDeterminism)
+{
+    std::vector<std::string> adverse = {"a1", "a2", "a3"};
+    std::vector<std::string> friendly = {"f1", "f2"};
+    std::vector<std::string> all = {"a1", "a2", "a3", "f1", "f2"};
+    auto mixes = buildMixes(adverse, friendly, all, 4, 5, 99);
+    ASSERT_EQ(mixes.size(), 15u);
+    for (unsigned i = 0; i < 5; ++i) {
+        for (const auto &w : mixes[i].workloads)
+            EXPECT_EQ(w[0], 'a');
+        for (const auto &w : mixes[5 + i].workloads)
+            EXPECT_EQ(w[0], 'f');
+        EXPECT_EQ(mixes[i].workloads.size(), 4u);
+    }
+    auto again = buildMixes(adverse, friendly, all, 4, 5, 99);
+    for (std::size_t i = 0; i < mixes.size(); ++i)
+        EXPECT_EQ(mixes[i].workloads, again[i].workloads);
+}
+
+/** Parameterized sanity sweep over the whole zoo. */
+class ZooSweep : public ::testing::TestWithParam<WorkloadSpec>
+{};
+
+TEST_P(ZooSweep, GeneratorProducesSaneRecords)
+{
+    SyntheticWorkload w(GetParam());
+    unsigned loads = 0, branches = 0;
+    for (int i = 0; i < 5000; ++i) {
+        TraceRecord r = w.next();
+        EXPECT_NE(r.pc, 0u);
+        if (r.kind == InstrKind::kLoad) {
+            ++loads;
+            EXPECT_NE(r.addr, 0u);
+        } else if (r.kind == InstrKind::kBranch) {
+            ++branches;
+        }
+    }
+    // Every workload is load-bearing and branchy to some degree.
+    EXPECT_GT(loads, 500u);
+    EXPECT_GT(branches, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEvalWorkloads, ZooSweep,
+    ::testing::ValuesIn(evalWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace athena
