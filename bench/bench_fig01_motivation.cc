@@ -10,6 +10,9 @@
  */
 
 #include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 

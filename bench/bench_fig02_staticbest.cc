@@ -10,6 +10,8 @@
 
 #include "bench_util.hh"
 
+#include <vector>
+
 using namespace athena;
 using namespace athena::bench;
 

@@ -7,6 +7,8 @@
 
 #include "bench_util.hh"
 
+#include <vector>
+
 using namespace athena;
 using namespace athena::bench;
 

@@ -9,6 +9,9 @@
 
 #include "bench_util.hh"
 
+#include <string>
+#include <vector>
+
 using namespace athena;
 using namespace athena::bench;
 

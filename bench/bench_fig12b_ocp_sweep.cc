@@ -10,6 +10,9 @@
 
 #include "bench_util.hh"
 
+#include <string>
+#include <vector>
+
 using namespace athena;
 using namespace athena::bench;
 

@@ -11,6 +11,9 @@
 
 #include "bench_util.hh"
 
+#include <string>
+#include <vector>
+
 using namespace athena;
 using namespace athena::bench;
 

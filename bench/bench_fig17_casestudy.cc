@@ -13,6 +13,10 @@
 
 #include "bench_util.hh"
 
+#include <array>
+#include <cstdint>
+#include <string>
+
 using namespace athena;
 using namespace athena::bench;
 

@@ -19,6 +19,9 @@
 
 #include "bench_util.hh"
 
+#include <cstddef>
+#include <vector>
+
 using namespace athena;
 using namespace athena::bench;
 

@@ -9,6 +9,8 @@
  */
 
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 

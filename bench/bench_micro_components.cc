@@ -3,14 +3,24 @@
  * google-benchmark microbenchmarks for Athena's timing-critical
  * hardware structures: QVStore lookup/update (section 5.4.2 argues
  * a 50-cycle update budget is ample) and Bloom filter
- * insert/query (section 5.2 trackers).
+ * insert/query (section 5.2 trackers) — plus the simulation
+ * engine's own hot path (Cache access/fill, workload generation,
+ * and a full Simulator step) so engine-speed regressions show up
+ * at component granularity before bench_throughput does.
  */
 
 #include <benchmark/benchmark.h>
+#include <cstdint>
+#include <vector>
 
 #include "athena/bloom.hh"
 #include "athena/qvstore.hh"
 #include "common/rng.hh"
+#include "mem/cache.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "trace/workload.hh"
+#include "trace/zoo.hh"
 
 namespace
 {
@@ -73,6 +83,78 @@ BM_BloomQuery(benchmark::State &state)
         benchmark::DoNotOptimize(bloom.mayContain(rng.next()));
 }
 BENCHMARK(BM_BloomQuery);
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    athena::Cache cache(athena::l1dParams());
+    // Fill one set's worth of resident lines and hit them round-robin.
+    const unsigned ways = cache.params().ways;
+    for (unsigned w = 0; w < ways; ++w)
+        cache.fill(w * cache.numSets(), w, w, false);
+    athena::Cycle now = ways;
+    unsigned w = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(w * cache.numSets(), ++now));
+        w = (w + 1) % ways;
+    }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessMiss(benchmark::State &state)
+{
+    athena::Cache cache(athena::l1dParams());
+    athena::Rng rng(6);
+    athena::Cycle now = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.next(), ++now));
+}
+BENCHMARK(BM_CacheAccessMiss);
+
+void
+BM_CacheFillEvict(benchmark::State &state)
+{
+    athena::Cache cache(athena::l2cParams());
+    athena::Rng rng(7);
+    athena::Cycle now = 0;
+    for (auto _ : state) {
+        ++now;
+        benchmark::DoNotOptimize(
+            cache.fill(rng.next(), now, now, (now & 1) != 0));
+    }
+}
+BENCHMARK(BM_CacheFillEvict);
+
+void
+BM_WorkloadNext(benchmark::State &state)
+{
+    auto workloads = athena::evalWorkloads();
+    athena::SyntheticWorkload w(workloads.front());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(w.next());
+}
+BENCHMARK(BM_WorkloadNext);
+
+void
+BM_SimulatorInstruction(benchmark::State &state)
+{
+    // End-to-end per-instruction cost of the whole engine: core
+    // step -> doLoad -> cache chain -> prefetcher observe ->
+    // policy/OCP, amortized over a long measured run.
+    auto workloads = athena::evalWorkloads();
+    athena::SystemConfig cfg = athena::makeDesignConfig(
+        athena::CacheDesign::kCd1, athena::PolicyKind::kNaive);
+    const std::uint64_t chunk = 100000;
+    for (auto _ : state) {
+        athena::Simulator sim(cfg, {workloads.front()});
+        benchmark::DoNotOptimize(sim.run(chunk, 0));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+BENCHMARK(BM_SimulatorInstruction)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -10,7 +10,10 @@
 #ifndef ATHENA_BENCH_BENCH_MULTICORE_COMMON_HH
 #define ATHENA_BENCH_BENCH_MULTICORE_COMMON_HH
 
+#include <cstddef>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 

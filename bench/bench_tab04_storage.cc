@@ -9,7 +9,9 @@
  * per core. Table 8 budgets each prefetcher/OCP/policy.
  */
 
+#include <cstddef>
 #include <memory>
+#include <string>
 
 #include "athena/agent.hh"
 #include "athena/bloom.hh"

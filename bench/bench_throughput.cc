@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Simulation-engine throughput harness: drives Simulator end-to-end
+ * over a small matrix of configs x workloads and reports
+ * simulated-accesses/sec (the engine's hot-path rate) plus
+ * simulated-instructions/sec into a machine-readable
+ * BENCH_throughput.json.
+ *
+ * This is the perf trajectory every engine-speed PR is judged
+ * against: run it before and after a hot-path change and compare
+ * `accesses_per_sec`.
+ *
+ * Knobs:
+ *  - ATHENA_SIM_INSTR    measured instructions per run (default 2M)
+ *  - ATHENA_WARMUP_INSTR warmup instructions per run (default 50k)
+ *  - ATHENA_BENCH_JSON   output path (default BENCH_throughput.json)
+ */
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "trace/zoo.hh"
+
+namespace
+{
+
+using namespace athena;
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+struct Case
+{
+    std::string name;
+    SystemConfig cfg;
+    WorkloadSpec spec;
+};
+
+struct CaseResult
+{
+    std::string name;
+    std::uint64_t instructions = 0;
+    std::uint64_t accesses = 0;
+    double wallSeconds = 0.0;
+    double ipc = 0.0;
+};
+
+CaseResult
+runCase(const Case &c, std::uint64_t instr, std::uint64_t warmup)
+{
+    Simulator sim(c.cfg, {c.spec});
+    auto t0 = std::chrono::steady_clock::now();
+    SimResult res = sim.run(instr, warmup);
+    auto t1 = std::chrono::steady_clock::now();
+
+    CaseResult out;
+    out.name = c.name;
+    out.instructions = res.cores[0].instructions;
+    out.accesses = res.cores[0].loads + res.cores[0].stores;
+    out.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.ipc = res.ipc();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t instr = envOr("ATHENA_SIM_INSTR", 2000000);
+    std::uint64_t warmup = envOr("ATHENA_WARMUP_INSTR", 50000);
+    const char *json_env = std::getenv("ATHENA_BENCH_JSON");
+    std::string json_path =
+        argc > 1 ? argv[1]
+                 : (json_env && *json_env ? json_env
+                                          : "BENCH_throughput.json");
+
+    // A throughput matrix that exercises the distinct hot paths:
+    // cache-resident streaming (prefetcher traffic dominates),
+    // DRAM-bound pointer chasing (OCP + DRAM model dominate), and
+    // the full learning stack (Athena agent in the loop).
+    auto workloads = evalWorkloads();
+    const WorkloadSpec &stream = workloads.front();
+    const WorkloadSpec *chase = &workloads.front();
+    for (const WorkloadSpec &w : workloads) {
+        if (w.name.find("mcf") != std::string::npos ||
+            w.name.find("chase") != std::string::npos) {
+            chase = &w;
+            break;
+        }
+    }
+
+    std::vector<Case> cases;
+    cases.push_back({"cd1_naive_" + stream.name,
+                     makeDesignConfig(CacheDesign::kCd1,
+                                      PolicyKind::kNaive),
+                     stream});
+    cases.push_back({"cd1_naive_" + chase->name,
+                     makeDesignConfig(CacheDesign::kCd1,
+                                      PolicyKind::kNaive),
+                     *chase});
+    cases.push_back({"cd1_athena_" + stream.name,
+                     makeDesignConfig(CacheDesign::kCd1,
+                                      PolicyKind::kAthena),
+                     stream});
+    cases.push_back({"cd4_athena_" + chase->name,
+                     makeDesignConfig(CacheDesign::kCd4,
+                                      PolicyKind::kAthena),
+                     *chase});
+
+    std::vector<CaseResult> results;
+    std::uint64_t total_instr = 0;
+    std::uint64_t total_accesses = 0;
+    double total_wall = 0.0;
+    for (const Case &c : cases) {
+        CaseResult r = runCase(c, instr, warmup);
+        std::cout << r.name << ": "
+                  << static_cast<std::uint64_t>(
+                         static_cast<double>(r.accesses) /
+                         r.wallSeconds)
+                  << " accesses/sec, "
+                  << static_cast<std::uint64_t>(
+                         static_cast<double>(r.instructions) /
+                         r.wallSeconds)
+                  << " instr/sec (ipc " << r.ipc << ", "
+                  << r.wallSeconds << " s)\n";
+        total_instr += r.instructions;
+        total_accesses += r.accesses;
+        total_wall += r.wallSeconds;
+        results.push_back(std::move(r));
+    }
+
+    double accesses_per_sec =
+        total_wall > 0.0
+            ? static_cast<double>(total_accesses) / total_wall
+            : 0.0;
+    double instr_per_sec =
+        total_wall > 0.0
+            ? static_cast<double>(total_instr) / total_wall
+            : 0.0;
+
+    std::ofstream json(json_path);
+    if (!json) {
+        std::cerr << "cannot open " << json_path << "\n";
+        return 1;
+    }
+    json << "{\n"
+         << "  \"benchmark\": \"bench_throughput\",\n"
+         << "  \"sim_instructions\": " << instr << ",\n"
+         << "  \"warmup_instructions\": " << warmup << ",\n"
+         << "  \"accesses_per_sec\": " << accesses_per_sec << ",\n"
+         << "  \"instructions_per_sec\": " << instr_per_sec << ",\n"
+         << "  \"wall_seconds\": " << total_wall << ",\n"
+         << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        json << "    {\"name\": \"" << r.name << "\", "
+             << "\"instructions\": " << r.instructions << ", "
+             << "\"accesses\": " << r.accesses << ", "
+             << "\"wall_seconds\": " << r.wallSeconds << ", "
+             << "\"ipc\": " << r.ipc << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+
+    std::cout << "TOTAL: "
+              << static_cast<std::uint64_t>(accesses_per_sec)
+              << " accesses/sec over " << total_wall
+              << " s -> " << json_path << "\n";
+    return 0;
+}

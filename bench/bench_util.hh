@@ -13,6 +13,8 @@
 #ifndef ATHENA_BENCH_BENCH_UTIL_HH
 #define ATHENA_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <iostream>
 #include <map>
 #include <string>

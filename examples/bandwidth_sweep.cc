@@ -12,6 +12,8 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "sim/runner.hh"

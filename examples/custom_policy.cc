@@ -14,7 +14,10 @@
  */
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <iostream>
+#include <string>
 
 #include "athena/agent.hh"
 #include "common/table.hh"

@@ -17,8 +17,10 @@
  *   rl:     sweep alpha x gamma (default)
  */
 
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "sim/runner.hh"

@@ -11,6 +11,7 @@
  *           mab | athena
  */
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>

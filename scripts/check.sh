@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local mirror of the tier-1 verify line (and what CI runs):
+# configure, build everything, run the full test fleet, then a
+# short-horizon throughput smoke that writes BENCH_throughput.json.
+#
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+ATHENA_SIM_INSTR="${ATHENA_SIM_INSTR:-200000}" \
+ATHENA_WARMUP_INSTR="${ATHENA_WARMUP_INSTR:-20000}" \
+    "$BUILD_DIR"/bench_throughput BENCH_throughput.json
+
+echo "check.sh: build + tests + throughput smoke all green"

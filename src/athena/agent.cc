@@ -6,6 +6,7 @@
 #include "athena/agent.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 

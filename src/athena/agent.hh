@@ -27,6 +27,8 @@
 #define ATHENA_ATHENA_AGENT_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "athena/features.hh"

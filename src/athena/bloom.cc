@@ -6,6 +6,7 @@
 #include "athena/bloom.hh"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/hashing.hh"
 

@@ -9,6 +9,7 @@
 #ifndef ATHENA_ATHENA_BLOOM_HH
 #define ATHENA_ATHENA_BLOOM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

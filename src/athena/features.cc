@@ -5,6 +5,9 @@
 
 #include "athena/features.hh"
 
+#include <cstdint>
+#include <vector>
+
 namespace athena
 {
 

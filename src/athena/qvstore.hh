@@ -19,6 +19,7 @@
 #ifndef ATHENA_ATHENA_QVSTORE_HH
 #define ATHENA_ATHENA_QVSTORE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

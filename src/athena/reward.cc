@@ -6,6 +6,7 @@
 #include "athena/reward.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace athena
 {

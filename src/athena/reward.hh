@@ -29,6 +29,7 @@
 #define ATHENA_ATHENA_REWARD_HH
 
 #include <algorithm>
+#include <cstdint>
 
 #include "coord/policy.hh"
 

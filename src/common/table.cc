@@ -6,8 +6,11 @@
 #include "common/table.hh"
 
 #include <algorithm>
+#include <cstddef>
 #include <iomanip>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace athena
 {

@@ -19,6 +19,7 @@
 #define ATHENA_COORD_HPAC_HH
 
 #include <array>
+#include <cstddef>
 
 #include "coord/policy.hh"
 

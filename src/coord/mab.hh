@@ -16,6 +16,7 @@
 #ifndef ATHENA_COORD_MAB_HH
 #define ATHENA_COORD_MAB_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "coord/policy.hh"

@@ -15,6 +15,7 @@
 #define ATHENA_COORD_POLICY_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -5,6 +5,8 @@
 
 #include "coord/simple.hh"
 
+#include <memory>
+
 namespace athena
 {
 

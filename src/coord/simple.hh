@@ -11,6 +11,10 @@
 
 #include "coord/policy.hh"
 
+#include <cstddef>
+#include <memory>
+#include <string>
+
 namespace athena
 {
 

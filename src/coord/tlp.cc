@@ -5,6 +5,9 @@
 
 #include "coord/tlp.hh"
 
+#include <array>
+#include <cstdint>
+
 #include "common/hashing.hh"
 
 namespace athena

@@ -20,6 +20,8 @@
 #define ATHENA_COORD_TLP_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 
 #include "common/sat_counter.hh"
 #include "coord/policy.hh"

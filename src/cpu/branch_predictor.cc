@@ -5,6 +5,8 @@
 
 #include "cpu/branch_predictor.hh"
 
+#include <cstdint>
+
 #include "common/hashing.hh"
 
 namespace athena

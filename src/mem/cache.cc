@@ -1,12 +1,21 @@
 /**
  * @file
  * Cache model implementation.
+ *
+ * Layout note: the lookup keys (tag + valid) are split out of the
+ * per-line metadata into the packed `tagv` array. Lookups are the
+ * hottest operation in the whole simulator — every load scans up to
+ * `ways` entries per level — and the split keeps that scan inside
+ * one or two cache lines of host memory instead of striding through
+ * 40-byte metadata structs.
  */
 
 #include "mem/cache.hh"
 
 #include <bit>
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
 
 namespace athena
 {
@@ -21,66 +30,51 @@ Cache::Cache(const CacheParams &params) : cfg(params)
         n_sets = 1;
     setBits = static_cast<unsigned>(std::bit_width(n_sets) - 1);
     sets = 1u << setBits;
+    tagv.resize(static_cast<std::size_t>(sets) * cfg.ways, 0);
     lines.resize(static_cast<std::size_t>(sets) * cfg.ways);
-}
-
-Cache::Line *
-Cache::findLine(Addr line_num)
-{
-    Addr tag = tagOf(line_num);
-    Line *set = &lines[static_cast<std::size_t>(setIndex(line_num)) *
-                       cfg.ways];
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        if (set[w].valid && set[w].tag == tag)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(Addr line_num) const
-{
-    return const_cast<Cache *>(this)->findLine(line_num);
 }
 
 CacheLookup
 Cache::access(Addr line_num, Cycle now)
 {
     CacheLookup res;
-    Line *line = findLine(line_num);
-    if (!line) {
+    const std::size_t base = setBase(line_num);
+    int w = findWay(base, keyOf(line_num));
+    if (w < 0) {
         ++statMisses;
         return res;
     }
     ++statHits;
+    Line &line = lines[base + static_cast<std::size_t>(w)];
     res.hit = true;
-    res.readyAt = line->readyAt;
-    if (line->prefetched) {
+    res.readyAt = line.readyAt;
+    if (line.prefetched) {
         res.firstPrefetchTouch = true;
-        res.pfMeta = line->pfMeta;
-        res.pfSlot = line->pfSlot;
-        res.pfFromDram = line->pfFromDram;
-        line->prefetched = false;
+        res.pfMeta = line.pfMeta;
+        res.pfSlot = line.pfSlot;
+        res.pfFromDram = line.pfFromDram;
+        line.prefetched = false;
     }
-    line->lruStamp = ++lruClock;
-    if (now > line->readyAt)
-        line->readyAt = now;
+    line.lruStamp = ++lruClock;
+    if (now > line.readyAt)
+        line.readyAt = now;
     return res;
 }
 
 bool
 Cache::contains(Addr line_num) const
 {
-    return findLine(line_num) != nullptr;
+    return findWay(setBase(line_num), keyOf(line_num)) >= 0;
 }
 
 bool
 Cache::touch(Addr line_num)
 {
-    Line *line = findLine(line_num);
-    if (!line)
+    const std::size_t base = setBase(line_num);
+    int w = findWay(base, keyOf(line_num));
+    if (w < 0)
         return false;
-    line->lruStamp = ++lruClock;
+    lines[base + static_cast<std::size_t>(w)].lruStamp = ++lruClock;
     return true;
 }
 
@@ -92,27 +86,31 @@ Cache::fill(Addr line_num, Cycle now, Cycle ready_at, bool is_prefetch,
     CacheEviction ev;
     ev.causedByPrefetch = is_prefetch;
 
-    if (Line *existing = findLine(line_num)) {
+    const std::size_t base = setBase(line_num);
+    if (int w = findWay(base, keyOf(line_num)); w >= 0) {
         // Refill of a resident line: refresh metadata only.
-        existing->lruStamp = ++lruClock;
+        lines[base + static_cast<std::size_t>(w)].lruStamp =
+            ++lruClock;
         return ev;
     }
 
-    Line *set = &lines[static_cast<std::size_t>(setIndex(line_num)) *
-                       cfg.ways];
-    Line *victim = &set[0];
+    std::uint64_t *tags = &tagv[base];
+    Line *set = &lines[base];
+    unsigned victim_w = 0;
     for (unsigned w = 0; w < cfg.ways; ++w) {
-        if (!set[w].valid) {
-            victim = &set[w];
+        if (!(tags[w] & 1)) {
+            victim_w = w;
             break;
         }
-        if (set[w].lruStamp < victim->lruStamp)
-            victim = &set[w];
+        if (set[w].lruStamp < set[victim_w].lruStamp)
+            victim_w = w;
     }
+    Line *victim = &set[victim_w];
 
-    if (victim->valid) {
+    if (tags[victim_w] & 1) {
         ev.evictedValid = true;
-        ev.evictedLine = (victim->tag << setBits) | setIndex(line_num);
+        ev.evictedLine =
+            ((tags[victim_w] >> 1) << setBits) | setIndex(line_num);
         if (victim->prefetched) {
             ev.evictedUnusedPrefetch = true;
             ev.evictedPfMeta = victim->pfMeta;
@@ -122,8 +120,7 @@ Cache::fill(Addr line_num, Cycle now, Cycle ready_at, bool is_prefetch,
         }
     }
 
-    victim->valid = true;
-    victim->tag = tagOf(line_num);
+    tags[victim_w] = keyOf(line_num);
     victim->prefetched = is_prefetch;
     victim->pfSlot = pf_slot;
     victim->pfMeta = pf_meta;
@@ -139,13 +136,16 @@ Cache::fill(Addr line_num, Cycle now, Cycle ready_at, bool is_prefetch,
 void
 Cache::invalidate(Addr line_num)
 {
-    if (Line *line = findLine(line_num))
-        line->valid = false;
+    const std::size_t base = setBase(line_num);
+    if (int w = findWay(base, keyOf(line_num)); w >= 0)
+        tagv[base + static_cast<std::size_t>(w)] = 0;
 }
 
 void
 Cache::reset()
 {
+    for (auto &t : tagv)
+        t = 0;
     for (auto &line : lines)
         line = Line{};
     lruClock = 0;

@@ -14,6 +14,7 @@
 #ifndef ATHENA_MEM_CACHE_HH
 #define ATHENA_MEM_CACHE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -120,10 +121,13 @@ class Cache
     std::uint64_t statUnusedPrefetchEvictions = 0;
 
   private:
+    /**
+     * Cold per-line metadata. The tag and valid bit live separately
+     * in the packed #tagv array so the way-scan of a lookup streams
+     * through 8 bytes per way instead of pulling in this struct.
+     */
     struct Line
     {
-        Addr tag = 0;
-        bool valid = false;
         bool prefetched = false;
         bool pfFromDram = false;
         std::uint8_t pfSlot = 0;
@@ -137,14 +141,39 @@ class Cache
         return static_cast<unsigned>(line_num & (sets - 1));
     }
     Addr tagOf(Addr line_num) const { return line_num >> setBits; }
+    /** Packed (tag << 1) | valid key a resident line matches. */
+    std::uint64_t keyOf(Addr line_num) const
+    {
+        return (tagOf(line_num) << 1) | 1u;
+    }
 
-    Line *findLine(Addr line_num);
-    const Line *findLine(Addr line_num) const;
+    /** Way holding @p line_num within its set, or -1. */
+    int findWay(std::size_t set_base, std::uint64_t key) const
+    {
+        const std::uint64_t *tags = &tagv[set_base];
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (tags[w] == key)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    std::size_t setBase(Addr line_num) const
+    {
+        return static_cast<std::size_t>(setIndex(line_num)) *
+               cfg.ways;
+    }
 
     CacheParams cfg;
     unsigned sets;
     unsigned setBits;
     std::uint64_t lruClock = 0;
+    /**
+     * Hot lookup keys, sets * ways row-major by set: packed
+     * (tag << 1) | valid, 0 when invalid. This is the only array a
+     * miss has to scan.
+     */
+    std::vector<std::uint64_t> tagv;
     std::vector<Line> lines; ///< sets * ways, row-major by set.
 };
 

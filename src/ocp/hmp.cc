@@ -5,6 +5,8 @@
 
 #include "ocp/hmp.hh"
 
+#include <cstdint>
+
 #include "common/hashing.hh"
 
 namespace athena

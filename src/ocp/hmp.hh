@@ -13,6 +13,8 @@
 #define ATHENA_OCP_HMP_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 
 #include "common/sat_counter.hh"
 #include "ocp/ocp.hh"

@@ -5,6 +5,8 @@
 
 #include "ocp/ocp.hh"
 
+#include <memory>
+
 #include "ocp/hmp.hh"
 #include "ocp/popet.hh"
 #include "ocp/ttp.hh"

@@ -16,6 +16,7 @@
 #ifndef ATHENA_OCP_OCP_HH
 #define ATHENA_OCP_OCP_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 

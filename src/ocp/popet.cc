@@ -5,6 +5,9 @@
 
 #include "ocp/popet.hh"
 
+#include <array>
+#include <cstdint>
+
 #include "common/hashing.hh"
 
 namespace athena

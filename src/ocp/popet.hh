@@ -16,6 +16,8 @@
 #define ATHENA_OCP_POPET_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 
 #include "common/sat_counter.hh"
 #include "ocp/ocp.hh"

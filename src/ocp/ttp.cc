@@ -5,6 +5,9 @@
 
 #include "ocp/ttp.hh"
 
+#include <cstddef>
+#include <cstdint>
+
 #include "common/hashing.hh"
 
 namespace athena

@@ -14,6 +14,8 @@
 #ifndef ATHENA_OCP_TTP_HH
 #define ATHENA_OCP_TTP_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ocp/ocp.hh"

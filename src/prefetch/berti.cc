@@ -6,6 +6,9 @@
 #include "prefetch/berti.hh"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
 
 #include "common/hashing.hh"
 

@@ -16,6 +16,9 @@
 #define ATHENA_PREFETCH_BERTI_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "prefetch/prefetcher.hh"
 

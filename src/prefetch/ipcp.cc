@@ -5,6 +5,9 @@
 
 #include "prefetch/ipcp.hh"
 
+#include <cstdint>
+#include <vector>
+
 #include "common/hashing.hh"
 
 namespace athena

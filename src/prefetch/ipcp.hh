@@ -19,6 +19,9 @@
 #define ATHENA_PREFETCH_IPCP_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/sat_counter.hh"
 #include "prefetch/prefetcher.hh"

@@ -6,6 +6,8 @@
 #include "prefetch/mlop.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "common/hashing.hh"
 

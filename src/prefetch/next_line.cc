@@ -5,6 +5,8 @@
 
 #include "prefetch/next_line.hh"
 
+#include <vector>
+
 namespace athena
 {
 

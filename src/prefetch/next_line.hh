@@ -10,6 +10,9 @@
 
 #include "prefetch/prefetcher.hh"
 
+#include <cstddef>
+#include <vector>
+
 namespace athena
 {
 

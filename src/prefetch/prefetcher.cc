@@ -5,6 +5,9 @@
 
 #include "prefetch/prefetcher.hh"
 
+#include <cstdint>
+#include <memory>
+
 #include "prefetch/berti.hh"
 #include "prefetch/ipcp.hh"
 #include "prefetch/mlop.hh"

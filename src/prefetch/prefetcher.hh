@@ -14,6 +14,7 @@
 #ifndef ATHENA_PREFETCH_PREFETCHER_HH
 #define ATHENA_PREFETCH_PREFETCHER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -6,8 +6,11 @@
 #include "prefetch/pythia.hh"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "common/hashing.hh"
 

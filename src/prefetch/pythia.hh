@@ -21,7 +21,10 @@
 #define ATHENA_PREFETCH_PYTHIA_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/rng.hh"
 #include "prefetch/prefetcher.hh"

@@ -15,6 +15,9 @@
 #define ATHENA_PREFETCH_SMS_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "prefetch/prefetcher.hh"
 

@@ -5,6 +5,10 @@
 
 #include "prefetch/spp_ppf.hh"
 
+#include <array>
+#include <cstdint>
+#include <vector>
+
 #include "common/hashing.hh"
 
 namespace athena

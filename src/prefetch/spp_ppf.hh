@@ -18,7 +18,10 @@
 #define ATHENA_PREFETCH_SPP_PPF_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/sat_counter.hh"
 #include "prefetch/prefetcher.hh"

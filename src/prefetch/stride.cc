@@ -5,6 +5,9 @@
 
 #include "prefetch/stride.hh"
 
+#include <cstdint>
+#include <vector>
+
 #include "common/hashing.hh"
 
 namespace athena

@@ -9,6 +9,9 @@
 #define ATHENA_PREFETCH_STRIDE_HH
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/sat_counter.hh"
 #include "prefetch/prefetcher.hh"

@@ -7,8 +7,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/stats.hh"
 

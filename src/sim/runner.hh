@@ -16,6 +16,8 @@
 #ifndef ATHENA_SIM_RUNNER_HH
 #define ATHENA_SIM_RUNNER_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>

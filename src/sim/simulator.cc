@@ -6,9 +6,14 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "athena/agent.hh"
 #include "coord/simple.hh"
@@ -87,6 +92,13 @@ struct Simulator::CoreCtx
 
     /** Prefetcher slots (at most kMaxPrefetchers). */
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+    /**
+     * Slot indices per trigger level (0 = L1D, 1 = L2C), computed
+     * once at construction so the per-access trigger loop touches
+     * only the prefetchers that actually observe that level instead
+     * of virtual-dispatching level() on every slot.
+     */
+    std::array<std::vector<std::uint8_t>, 2> levelSlots;
     std::unique_ptr<OffChipPredictor> ocp;
     std::unique_ptr<CoordinationPolicy> policy;
 
@@ -129,6 +141,10 @@ Simulator::Simulator(const SystemConfig &config,
     llc = std::make_unique<Cache>(llcParams(cfg.cores));
     dram = std::make_unique<Dram>(dramParams(cfg.bandwidthGBps));
 
+    latL1 = l1dParams().latency;
+    latL2 = latL1 + l2cParams().latency;
+    latLlc = latL2 + llc->params().latency;
+
     for (unsigned c = 0; c < cfg.cores; ++c) {
         auto ctx = std::make_unique<CoreCtx>(l1dParams(), l2cParams());
         ctx->workloadName = workloads[c].name;
@@ -151,6 +167,14 @@ Simulator::Simulator(const SystemConfig &config,
         }
         if (ctx->prefetchers.size() > kMaxPrefetchers)
             throw std::invalid_argument("too many prefetchers");
+        for (unsigned s = 0; s < ctx->prefetchers.size(); ++s) {
+            unsigned lvl = ctx->prefetchers[s]->level() ==
+                                   CacheLevel::kL1D
+                               ? 0
+                               : 1;
+            ctx->levelSlots[lvl].push_back(
+                static_cast<std::uint8_t>(s));
+        }
 
         ctx->ocp = makeOcp(cfg.ocp);
         ctx->policy = makePolicy(
@@ -216,10 +240,10 @@ Simulator::triggerLevel(unsigned core, CacheLevel level,
                         Cycle cycle)
 {
     CoreCtx &cc = *coreCtxs[core];
-    for (unsigned slot = 0; slot < cc.prefetchers.size(); ++slot) {
+    const auto &slots =
+        cc.levelSlots[level == CacheLevel::kL1D ? 0 : 1];
+    for (unsigned slot : slots) {
         Prefetcher &pf = *cc.prefetchers[slot];
-        if (pf.level() != level)
-            continue;
         // A gated prefetcher still *trains* on the demand stream
         // (its tables are hardware that observes lookups); only
         // issuing is suppressed. Without this, a learning
@@ -253,10 +277,6 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
         return;
     }
 
-    const Cycle l1_lat = cc.l1.params().latency;
-    const Cycle l2_lat = l1_lat + cc.l2.params().latency;
-    const Cycle llc_lat = l2_lat + llc->params().latency;
-
     bool from_dram = false;
     Cycle ready;
 
@@ -266,12 +286,12 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
             return;
         }
         if (cc.l2.touch(line)) {
-            ready = cycle + l2_lat;
+            ready = cycle + latL2;
         } else if (llc->touch(line)) {
-            ready = cycle + llc_lat;
+            ready = cycle + latLlc;
         } else {
             Cycle done =
-                dram->serve(cycle + llc_lat, line,
+                dram->serve(cycle + latLlc, line,
                             AccessType::kPrefetch);
             ready = done;
             from_dram = true;
@@ -305,10 +325,10 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
             return;
         }
         if (llc->touch(line)) {
-            ready = cycle + llc_lat;
+            ready = cycle + latLlc;
         } else {
             Cycle done =
-                dram->serve(cycle + llc_lat, line,
+                dram->serve(cycle + latLlc, line,
                             AccessType::kPrefetch);
             ready = done;
             from_dram = true;
@@ -347,10 +367,6 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
     CoreCtx &cc = *coreCtxs[core];
     Addr line = lineNumber(addr);
 
-    const Cycle l1_lat = cc.l1.params().latency;
-    const Cycle l2_lat = l1_lat + cc.l2.params().latency;
-    const Cycle llc_lat = l2_lat + llc->params().latency;
-
     // Off-chip prediction happens as soon as the address is known.
     bool ocp_pred = false;
     if (cc.ocp && cc.decision.ocpEnable)
@@ -365,21 +381,21 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
 
     if (l1res.hit) {
         dispatchPrefetchFeedbackUsed(core, l1res, issue);
-        completion = std::max(issue + l1_lat, l1res.readyAt);
+        completion = std::max(issue + latL1, l1res.readyAt);
     } else {
         CacheLookup l2res = cc.l2.access(line, issue);
         triggerLevel(core, CacheLevel::kL2C, pc, addr, l2res.hit,
                      issue);
         if (l2res.hit) {
             dispatchPrefetchFeedbackUsed(core, l2res, issue);
-            completion = std::max(issue + l2_lat, l2res.readyAt);
+            completion = std::max(issue + latL2, l2res.readyAt);
             cc.l1.fill(line, issue, completion, false);
         } else {
             CacheLookup llcres = llc->access(line, issue);
             if (llcres.hit) {
                 dispatchPrefetchFeedbackUsed(core, llcres, issue);
                 completion =
-                    std::max(issue + llc_lat, llcres.readyAt);
+                    std::max(issue + latLlc, llcres.readyAt);
                 cc.l2.fill(line, issue, completion, false);
                 cc.l1.fill(line, issue, completion, false);
             } else {
@@ -395,9 +411,9 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
                     // off-chip critical path.
                     done = dram->serve(issue + cfg.ocpIssueLatency,
                                        line, AccessType::kOcp);
-                    completion = std::max(done, issue + l1_lat);
+                    completion = std::max(done, issue + latL1);
                 } else {
-                    done = dram->serve(issue + llc_lat, line,
+                    done = dram->serve(issue + latLlc, line,
                                        AccessType::kDemandLoad);
                     completion = done;
                 }
@@ -448,10 +464,6 @@ Simulator::doStore(unsigned core, std::uint64_t pc, Addr addr,
     CoreCtx &cc = *coreCtxs[core];
     Addr line = lineNumber(addr);
 
-    const Cycle l1_lat = cc.l1.params().latency;
-    const Cycle l2_lat = l1_lat + cc.l2.params().latency;
-    const Cycle llc_lat = l2_lat + llc->params().latency;
-
     CacheLookup l1res = cc.l1.access(line, cycle);
     triggerLevel(core, CacheLevel::kL1D, pc, addr, l1res.hit, cycle);
     if (l1res.hit) {
@@ -462,20 +474,20 @@ Simulator::doStore(unsigned core, std::uint64_t pc, Addr addr,
     triggerLevel(core, CacheLevel::kL2C, pc, addr, l2res.hit, cycle);
     if (l2res.hit) {
         dispatchPrefetchFeedbackUsed(core, l2res, cycle);
-        cc.l1.fill(line, cycle, cycle + l2_lat, false);
+        cc.l1.fill(line, cycle, cycle + latL2, false);
         return;
     }
     CacheLookup llcres = llc->access(line, cycle);
     if (llcres.hit) {
         dispatchPrefetchFeedbackUsed(core, llcres, cycle);
-        cc.l2.fill(line, cycle, cycle + llc_lat, false);
-        cc.l1.fill(line, cycle, cycle + llc_lat, false);
+        cc.l2.fill(line, cycle, cycle + latLlc, false);
+        cc.l1.fill(line, cycle, cycle + latLlc, false);
         return;
     }
     // Write-allocate from DRAM; off the critical path but the
     // traffic is real.
     Cycle done =
-        dram->serve(cycle + llc_lat, line, AccessType::kDemandStore);
+        dram->serve(cycle + latLlc, line, AccessType::kDemandStore);
     CacheEviction ev = llc->fill(line, cycle, done, false);
     handleLlcEviction(core, ev);
     cc.l2.fill(line, cycle, done, false);
@@ -556,6 +568,7 @@ Simulator::run(std::uint64_t instructions_per_core,
         std::uint64_t instr = 0;
         Cycle cycle = 0;
         std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
         std::uint64_t mispredicts = 0;
         std::uint64_t llcMisses = 0;
         std::uint64_t llcMissLatency = 0;
@@ -572,6 +585,7 @@ Simulator::run(std::uint64_t instructions_per_core,
             started[c] = true;
             starts[c] = {cc.core->retired(), cc.core->now(),
                          cc.core->counters().loads,
+                         cc.core->counters().stores,
                          cc.core->counters().branchMispredicts,
                          cc.llcMissesTotal, cc.llcMissLatencyTotal};
             if (!any_started) {
@@ -626,6 +640,7 @@ Simulator::run(std::uint64_t instructions_per_core,
         pc.ipc = static_cast<double>(pc.instructions) /
                  static_cast<double>(cyc);
         pc.loads = cc.core->counters().loads - ms.loads;
+        pc.stores = cc.core->counters().stores - ms.stores;
         pc.branchMispredicts =
             cc.core->counters().branchMispredicts - ms.mispredicts;
         pc.llcMisses = cc.llcMissesTotal - ms.llcMisses;

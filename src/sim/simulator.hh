@@ -14,7 +14,10 @@
 #ifndef ATHENA_SIM_SIMULATOR_HH
 #define ATHENA_SIM_SIMULATOR_HH
 
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "athena/bloom.hh"
@@ -70,6 +73,7 @@ struct SimResult
         std::uint64_t instructions = 0;
         std::uint64_t cycles = 0;
         std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
         std::uint64_t branchMispredicts = 0;
         std::uint64_t llcMisses = 0;
         std::uint64_t llcMissLatency = 0;
@@ -162,6 +166,12 @@ class Simulator
 
     SystemConfig cfg;
     std::vector<std::unique_ptr<CoreCtx>> coreCtxs;
+
+    // Cumulative round-trip latencies (Table 5), hoisted out of the
+    // per-access path: identical for every core and every access.
+    Cycle latL1 = 0;  ///< L1 round trip.
+    Cycle latL2 = 0;  ///< L1 + L2.
+    Cycle latLlc = 0; ///< L1 + L2 + LLC.
 
     // Shared resources.
     std::unique_ptr<Cache> llc;

@@ -5,6 +5,8 @@
 
 #include "sim/system_config.hh"
 
+#include <cstdint>
+
 namespace athena
 {
 

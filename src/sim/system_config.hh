@@ -9,6 +9,7 @@
 #ifndef ATHENA_SIM_SYSTEM_CONFIG_HH
 #define ATHENA_SIM_SYSTEM_CONFIG_HH
 
+#include <cstdint>
 #include <string>
 
 #include "athena/agent.hh"

@@ -5,6 +5,10 @@
 
 #include "trace/mixes.hh"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/rng.hh"
 
 namespace athena

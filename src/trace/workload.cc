@@ -5,6 +5,10 @@
 
 #include "trace/workload.hh"
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
 #include "common/hashing.hh"
 
 namespace athena
@@ -89,15 +93,27 @@ SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
       case Pattern::kStream:
         {
             Addr a = st.base + st.cursor;
-            st.cursor = (st.cursor + p.elementBytes) %
-                        p.footprintBytes;
+            // Wrap by conditional subtract — free of the 64-bit
+            // division a modulo would cost on every access. The
+            // rare-path modulo keeps user-supplied steps >= the
+            // footprint exact.
+            st.cursor += p.elementBytes;
+            if (st.cursor >= p.footprintBytes) {
+                st.cursor -= p.footprintBytes;
+                if (st.cursor >= p.footprintBytes)
+                    st.cursor %= p.footprintBytes;
+            }
             return a;
         }
       case Pattern::kStride:
         {
             Addr a = st.base + st.cursor;
-            st.cursor = (st.cursor + p.strideBytes) %
-                        p.footprintBytes;
+            st.cursor += p.strideBytes;
+            if (st.cursor >= p.footprintBytes) {
+                st.cursor -= p.footprintBytes;
+                if (st.cursor >= p.footprintBytes)
+                    st.cursor %= p.footprintBytes;
+            }
             return a;
         }
       case Pattern::kChase:

@@ -17,6 +17,7 @@
 #ifndef ATHENA_TRACE_WORKLOAD_HH
 #define ATHENA_TRACE_WORKLOAD_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

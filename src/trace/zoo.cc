@@ -11,7 +11,10 @@
 
 #include "trace/zoo.hh"
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "common/hashing.hh"
 

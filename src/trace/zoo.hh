@@ -19,6 +19,7 @@
 #ifndef ATHENA_TRACE_ZOO_HH
 #define ATHENA_TRACE_ZOO_HH
 
+#include <string>
 #include <vector>
 
 #include "trace/workload.hh"

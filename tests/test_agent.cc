@@ -5,6 +5,8 @@
  * control, the prefetcher-only action space, and ablation flags.
  */
 
+#include <array>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "athena/agent.hh"

@@ -5,7 +5,9 @@
  * helper used by the Table 4 sizing argument.
  */
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "athena/bloom.hh"
 #include "common/rng.hh"

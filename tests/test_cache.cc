@@ -6,6 +6,7 @@
  * geometries.
  */
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "mem/cache.hh"

@@ -5,10 +5,13 @@
  * the table printer.
  */
 
-#include <gtest/gtest.h>
 
+#include <cstdint>
+#include <gtest/gtest.h>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/hashing.hh"
 #include "common/rng.hh"

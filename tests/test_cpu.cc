@@ -5,7 +5,10 @@
  * critical-consumer stalls, and MSHR-bounded MLP.
  */
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "common/rng.hh"
 #include "cpu/core_model.hh"

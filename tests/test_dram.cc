@@ -6,6 +6,7 @@
  * sweep.
  */
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "mem/dram.hh"

@@ -10,9 +10,10 @@
  * figures.
  */
 
-#include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
 
 #include "sim/runner.hh"
 

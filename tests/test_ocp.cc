@@ -5,6 +5,7 @@
  * properties parameterized across all kinds.
  */
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"

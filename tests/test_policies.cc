@@ -5,6 +5,7 @@
  * level-restricted filtering.
  */
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "coord/hpac.hh"

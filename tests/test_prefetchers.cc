@@ -5,9 +5,11 @@
  * parameterized across all kinds.
  */
 
-#include <gtest/gtest.h>
 
+#include <cstdint>
+#include <gtest/gtest.h>
 #include <set>
+#include <vector>
 
 #include "common/rng.hh"
 #include "prefetch/berti.hh"
@@ -253,8 +255,9 @@ TEST_P(AnyPrefetcher, ReportsStorageAndLevel)
 {
     auto pf = makePrefetcher(GetParam());
     ASSERT_NE(pf, nullptr);
-    if (GetParam() != PrefetcherKind::kNextLine)
+    if (GetParam() != PrefetcherKind::kNextLine) {
         EXPECT_GT(pf->storageBits(), 0u);
+    }
     CacheLevel lvl = pf->level();
     EXPECT_TRUE(lvl == CacheLevel::kL1D || lvl == CacheLevel::kL2C);
     EXPECT_GE(pf->maxDegree(), 1u);

@@ -4,9 +4,11 @@
  * every workload in the zoo and across randomized configurations.
  */
 
-#include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
 
 #include "common/rng.hh"
 #include "sim/simulator.hh"

@@ -6,7 +6,9 @@
  * (gated/filtered) decisions must not erase learned Q-values.
  */
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "common/rng.hh"
 #include "prefetch/pythia.hh"

@@ -6,6 +6,7 @@
  * parity.
  */
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "athena/qvstore.hh"

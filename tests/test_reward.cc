@@ -6,6 +6,7 @@
  * IPC-only strawman.
  */
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "athena/reward.hh"

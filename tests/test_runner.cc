@@ -5,11 +5,14 @@
  * multi-core mix speedup metric.
  */
 
-#include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 #include "sim/runner.hh"
 
@@ -143,6 +146,64 @@ TEST_F(RunnerTest, MixSpeedupIsPositive)
     EXPECT_LT(s, 4.0);
 }
 
+TEST_F(RunnerTest, BaselineCacheSafeUnderConcurrentCalls)
+{
+    // Hammer the baseline cache from many threads with a mix of
+    // repeated and distinct keys: every call must return the same
+    // value a cold sequential runner computes, with no torn reads
+    // or lost inserts.
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+
+    const std::size_t kWorkloads = 4;
+    const std::size_t kRepeats = 8;
+    std::vector<double> got(kWorkloads * kRepeats, 0.0);
+    parallelFor(got.size(), [&](std::size_t i) {
+        got[i] = runner.baselineIpc(cfg, workloads[i % kWorkloads]);
+    });
+
+    ExperimentRunner fresh;
+    for (std::size_t w = 0; w < kWorkloads; ++w) {
+        double expect = fresh.baselineIpc(cfg, workloads[w]);
+        EXPECT_GT(expect, 0.0);
+        for (std::size_t r = 0; r < kRepeats; ++r)
+            EXPECT_DOUBLE_EQ(got[r * kWorkloads + w], expect)
+                << "workload " << workloads[w].name;
+    }
+}
+
+TEST_F(RunnerTest, SpeedupsDeterministicRegardlessOfThreading)
+{
+    // speedups() fans the workloads out over hardware threads; each
+    // simulation is self-contained, so the result must be exactly
+    // the serial reference no matter how the indices interleave.
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    std::vector<WorkloadSpec> subset(workloads.begin(),
+                                     workloads.begin() + 6);
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kOcpOnly);
+
+    auto rows = runner.speedups(cfg, subset);
+    ASSERT_EQ(rows.size(), subset.size());
+
+    ExperimentRunner serial;
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+        double base = serial.baselineIpc(cfg, subset[i]);
+        SimResult res = serial.runOne(cfg, subset[i]);
+        double expect = base > 0.0 ? res.ipc() / base : 1.0;
+        EXPECT_DOUBLE_EQ(rows[i].speedup, expect)
+            << subset[i].name;
+    }
+
+    // And a second parallel pass reproduces the first exactly.
+    auto again = runner.speedups(cfg, subset);
+    for (std::size_t i = 0; i < subset.size(); ++i)
+        EXPECT_DOUBLE_EQ(rows[i].speedup, again[i].speedup);
+}
+
 TEST(ParallelFor, CoversAllIndicesOnce)
 {
     std::vector<std::atomic<int>> hits(257);
@@ -157,6 +218,23 @@ TEST(ParallelFor, HandlesEmptyAndSingle)
     int count = 0;
     parallelFor(1, [&](std::size_t) { ++count; });
     EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, ManyMoreIndicesThanThreads)
+{
+    // Work-stealing via the shared atomic counter must cover a range
+    // far larger than the pool exactly once, and the call must not
+    // return before every index ran.
+    const std::size_t n = 10007;
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<std::size_t> done{0};
+    parallelFor(n, [&](std::size_t i) {
+        ++hits[i];
+        ++done;
+    });
+    EXPECT_EQ(done.load(), n);
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
 }
 
 } // namespace

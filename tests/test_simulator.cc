@@ -6,7 +6,9 @@
  * multi-core bandwidth contention.
  */
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "sim/simulator.hh"
 #include "trace/zoo.hh"

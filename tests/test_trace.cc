@@ -7,10 +7,13 @@
  * workloads.
  */
 
-#include <gtest/gtest.h>
 
+#include <cstddef>
+#include <gtest/gtest.h>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "trace/mixes.hh"
 #include "trace/workload.hh"
@@ -73,8 +76,9 @@ TEST(Workload, StreamAdvancesMonotonically)
         TraceRecord r = w.next();
         if (r.kind != InstrKind::kLoad)
             continue;
-        if (!first)
+        if (!first) {
             EXPECT_GT(r.addr, last);
+        }
         last = r.addr;
         first = false;
     }
