@@ -9,15 +9,20 @@
  * at component granularity before bench_throughput does.
  */
 
+#include <array>
 #include <benchmark/benchmark.h>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "athena/bloom.hh"
 #include "athena/qvstore.hh"
+#include "common/fast_mod.hh"
 #include "common/rng.hh"
 #include "mem/cache.hh"
+#include "prefetch/prefetcher.hh"
 #include "sim/simulator.hh"
+#include "sim/step_picker.hh"
 #include "sim/system_config.hh"
 #include "trace/workload.hh"
 #include "trace/zoo.hh"
@@ -126,6 +131,96 @@ BM_CacheFillEvict(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheFillEvict);
+
+void
+BM_TriggerDispatchFrontDoor(benchmark::State &state)
+{
+    // The devirtualized observe() front door on a learning
+    // prefetcher — the per-access dispatch cost triggerLevel pays
+    // per slot (tentpole item 1).
+    auto pf = athena::makePrefetcher(
+        athena::PrefetcherKind::kPythia, 11);
+    athena::Rng rng(8);
+    athena::CandidateVec out;
+    athena::Cycle now = 0;
+    for (auto _ : state) {
+        out.clear();
+        pf->observe({0x400, rng.next() % (1ull << 30), false, ++now},
+                    out);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(BM_TriggerDispatchFrontDoor);
+
+void
+BM_TriggerDispatchVirtual(benchmark::State &state)
+{
+    // Reference: the same kernel through the virtual slot, for
+    // eyeballing what the tag dispatch saves.
+    auto pf = athena::makePrefetcher(
+        athena::PrefetcherKind::kPythia, 11);
+    athena::Rng rng(8);
+    athena::CandidateVec out;
+    athena::Cycle now = 0;
+    for (auto _ : state) {
+        out.clear();
+        pf->observeImpl(
+            {0x400, rng.next() % (1ull << 30), false, ++now}, out);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(BM_TriggerDispatchVirtual);
+
+void
+BM_StepPicker8Core(benchmark::State &state)
+{
+    // The multi-core scheduler's pick/advance cycle at fig16 scale
+    // (tentpole item 2).
+    athena::StepPicker picker(8);
+    std::array<athena::Cycle, 8> now{};
+    athena::Rng rng(9);
+    for (auto _ : state) {
+        unsigned pick = picker.top();
+        now[pick] += 1 + (rng.next() & 31);
+        picker.advance(pick, now[pick]);
+        benchmark::DoNotOptimize(pick);
+    }
+}
+BENCHMARK(BM_StepPicker8Core);
+
+void
+BM_QVStoreSeparation(benchmark::State &state)
+{
+    // Algorithm 1's q - meanOfOthers in one row resolution (the
+    // Athena degree computation, tentpole item 4).
+    athena::QVStore qv;
+    athena::Rng rng(10);
+    for (auto _ : state) {
+        auto s = static_cast<std::uint32_t>(rng.next() & 0xfff);
+        benchmark::DoNotOptimize(qv.qSeparation(s, s & 3));
+    }
+}
+BENCHMARK(BM_QVStoreSeparation);
+
+void
+BM_FastMod(benchmark::State &state)
+{
+    athena::FastMod fm(123ull << 20); // non-pow2 footprint
+    athena::Rng rng(12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fm.mod(rng.next()));
+}
+BENCHMARK(BM_FastMod);
+
+void
+BM_HardwareMod(benchmark::State &state)
+{
+    volatile std::uint64_t m = 123ull << 20;
+    athena::Rng rng(12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next() % m);
+}
+BENCHMARK(BM_HardwareMod);
 
 void
 BM_WorkloadNext(benchmark::State &state)

@@ -1,27 +1,48 @@
 /**
  * @file
  * Simulation-engine throughput harness: drives Simulator end-to-end
- * over a small matrix of configs x workloads and reports
+ * over a matrix of configs x workloads x core counts and reports
  * simulated-accesses/sec (the engine's hot-path rate) plus
  * simulated-instructions/sec into a machine-readable
  * BENCH_throughput.json.
  *
  * This is the perf trajectory every engine-speed PR is judged
- * against: run it before and after a hot-path change and compare
- * `accesses_per_sec`.
+ * against. The matrix covers the distinct hot paths: cache-resident
+ * streaming (prefetcher traffic dominates), DRAM-bound pointer
+ * chasing (OCP + DRAM model dominate), the full learning stack
+ * (Athena agent in the loop, including a short-epoch policy-heavy
+ * case and a two-prefetcher CD3 case), and 4-core mixes (the
+ * multi-core step picker plus shared LLC/DRAM contention).
+ *
+ * Measurement modes:
+ *  - Repeats: every case runs ATHENA_BENCH_REPEATS times (default
+ *    3) and reports the best (minimum-wall) run, which is robust to
+ *    scheduler noise on shared hosts.
+ *  - A/B interleave: when ATHENA_AB_BASELINE names a pinned
+ *    baseline bench binary (e.g. built from the previous release),
+ *    each of our repeats is interleaved with one baseline run —
+ *    A B A B ... — so slow drift of the host (thermal, co-tenants)
+ *    cancels out of the comparison. The JSON gains an "ab" block
+ *    with the baseline rate and the measured speedup.
  *
  * Knobs:
- *  - ATHENA_SIM_INSTR    measured instructions per run (default 2M)
- *  - ATHENA_WARMUP_INSTR warmup instructions per run (default 50k)
- *  - ATHENA_BENCH_JSON   output path (default BENCH_throughput.json)
+ *  - ATHENA_SIM_INSTR      measured instructions per run (default 2M)
+ *  - ATHENA_WARMUP_INSTR   warmup instructions per run (default 50k)
+ *  - ATHENA_BENCH_REPEATS  repeats per case (default 3; 1 in CI)
+ *  - ATHENA_AB_BASELINE    path to a pinned baseline bench binary
+ *  - ATHENA_BENCH_JSON     output path (default BENCH_throughput.json)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -47,12 +68,23 @@ struct Case
 {
     std::string name;
     SystemConfig cfg;
-    WorkloadSpec spec;
+    std::vector<WorkloadSpec> specs; ///< One per core.
+    /** Per-core instruction scale (multi-core cases run shorter
+     *  per core so total simulated work stays comparable). */
+    unsigned instrDivisor = 1;
+    /**
+     * Part of the PR 1 regression-anchor quartet. The A/B speedup
+     * is computed over anchor cases only, so a baseline binary
+     * whose matrix predates the expansion is compared
+     * like-for-like rather than against a different case mix.
+     */
+    bool abAnchor = false;
 };
 
 struct CaseResult
 {
     std::string name;
+    unsigned cores = 1;
     std::uint64_t instructions = 0;
     std::uint64_t accesses = 0;
     double wallSeconds = 0.0;
@@ -62,19 +94,101 @@ struct CaseResult
 CaseResult
 runCase(const Case &c, std::uint64_t instr, std::uint64_t warmup)
 {
-    Simulator sim(c.cfg, {c.spec});
+    Simulator sim(c.cfg, c.specs);
     auto t0 = std::chrono::steady_clock::now();
-    SimResult res = sim.run(instr, warmup);
+    SimResult res = sim.run(instr / c.instrDivisor,
+                            warmup / c.instrDivisor);
     auto t1 = std::chrono::steady_clock::now();
 
     CaseResult out;
     out.name = c.name;
-    out.instructions = res.cores[0].instructions;
-    out.accesses = res.cores[0].loads + res.cores[0].stores;
+    out.cores = c.cfg.cores;
+    std::uint64_t cycles_max = 1;
+    for (const auto &core : res.cores) {
+        out.instructions += core.instructions;
+        out.accesses += core.loads + core.stores;
+        cycles_max = std::max(cycles_max, core.cycles);
+    }
     out.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
-    out.ipc = res.ipc();
+    out.ipc = static_cast<double>(out.instructions) /
+              static_cast<double>(cycles_max);
     return out;
+}
+
+/** Best (min-wall) observation of one baseline case across the
+ *  interleaved repeats. */
+struct BaselineCase
+{
+    std::uint64_t accesses = 0;
+    double wallSeconds = 0.0;
+    unsigned cores = 1;
+};
+
+/**
+ * Run a pinned baseline binary once and fold its per-case results
+ * (minimum wall per case) into @p best_cases. Per-case best-of is
+ * what our own matrix reports, so the two sides of the A/B stay
+ * symmetric and equally robust to scheduler noise. Returns true if
+ * the baseline emitted the expanded-matrix schema (has per-case
+ * "cores"), false for the PR 1 schema (single-core quartet only).
+ */
+bool
+runBaselineOnce(const std::string &binary, std::uint64_t instr,
+                std::uint64_t warmup,
+                std::map<std::string, BaselineCase> &best_cases)
+{
+    std::string tmp = "/tmp/athena_ab_baseline.json";
+    std::ostringstream cmd;
+    cmd << "ATHENA_BENCH_REPEATS=1"
+        << " ATHENA_AB_BASELINE="
+        << " ATHENA_SIM_INSTR=" << instr
+        << " ATHENA_WARMUP_INSTR=" << warmup
+        << " ATHENA_BENCH_JSON=" << tmp << " " << binary
+        << " > /dev/null 2>&1";
+    if (std::system(cmd.str().c_str()) != 0) {
+        std::cerr << "A/B baseline run failed: " << binary << "\n";
+        return false;
+    }
+    std::ifstream in(tmp);
+    std::string line;
+    bool new_schema = false;
+    while (std::getline(in, line)) {
+        auto field = [&line](const char *key, double fallback) {
+            auto pos = line.find(key);
+            if (pos == std::string::npos)
+                return fallback;
+            pos = line.find(':', pos);
+            return pos == std::string::npos
+                       ? fallback
+                       : std::strtod(line.c_str() + pos + 1,
+                                     nullptr);
+        };
+        auto name_pos = line.find("\"name\":");
+        if (name_pos == std::string::npos)
+            continue;
+        auto q0 = line.find('"', name_pos + 7);
+        auto q1 = line.find('"', q0 + 1);
+        if (q0 == std::string::npos || q1 == std::string::npos)
+            continue;
+        std::string name = line.substr(q0 + 1, q1 - q0 - 1);
+        BaselineCase c;
+        c.accesses =
+            static_cast<std::uint64_t>(field("\"accesses\"", 0.0));
+        c.wallSeconds = field("\"wall_seconds\"", 0.0);
+        double cores = field("\"cores\"", 0.0);
+        if (cores > 0.0) {
+            c.cores = static_cast<unsigned>(cores);
+            new_schema = true;
+        }
+        if (c.wallSeconds <= 0.0)
+            continue;
+        auto it = best_cases.find(name);
+        if (it == best_cases.end() ||
+            c.wallSeconds < it->second.wallSeconds)
+            best_cases[name] = c;
+    }
+    return new_schema;
 }
 
 } // namespace
@@ -84,16 +198,18 @@ main(int argc, char **argv)
 {
     std::uint64_t instr = envOr("ATHENA_SIM_INSTR", 2000000);
     std::uint64_t warmup = envOr("ATHENA_WARMUP_INSTR", 50000);
+    auto repeats =
+        static_cast<unsigned>(envOr("ATHENA_BENCH_REPEATS", 3));
+    if (repeats == 0)
+        repeats = 1;
+    const char *ab_env = std::getenv("ATHENA_AB_BASELINE");
+    std::string ab_baseline = ab_env ? ab_env : "";
     const char *json_env = std::getenv("ATHENA_BENCH_JSON");
     std::string json_path =
         argc > 1 ? argv[1]
                  : (json_env && *json_env ? json_env
                                           : "BENCH_throughput.json");
 
-    // A throughput matrix that exercises the distinct hot paths:
-    // cache-resident streaming (prefetcher traffic dominates),
-    // DRAM-bound pointer chasing (OCP + DRAM model dominate), and
-    // the full learning stack (Athena agent in the loop).
     auto workloads = evalWorkloads();
     const WorkloadSpec &stream = workloads.front();
     const WorkloadSpec *chase = &workloads.front();
@@ -104,55 +220,131 @@ main(int argc, char **argv)
             break;
         }
     }
+    // A 4-core mix of distinct workloads (fig15-style stepping).
+    std::vector<WorkloadSpec> mix4;
+    for (std::size_t i = 0; mix4.size() < 4 && i < workloads.size();
+         i += workloads.size() / 4)
+        mix4.push_back(workloads[i]);
+    while (mix4.size() < 4)
+        mix4.push_back(workloads.front());
 
     std::vector<Case> cases;
-    cases.push_back({"cd1_naive_" + stream.name,
-                     makeDesignConfig(CacheDesign::kCd1,
-                                      PolicyKind::kNaive),
-                     stream});
-    cases.push_back({"cd1_naive_" + chase->name,
-                     makeDesignConfig(CacheDesign::kCd1,
-                                      PolicyKind::kNaive),
-                     *chase});
-    cases.push_back({"cd1_athena_" + stream.name,
-                     makeDesignConfig(CacheDesign::kCd1,
-                                      PolicyKind::kAthena),
-                     stream});
-    cases.push_back({"cd4_athena_" + chase->name,
-                     makeDesignConfig(CacheDesign::kCd4,
-                                      PolicyKind::kAthena),
-                     *chase});
-
-    std::vector<CaseResult> results;
-    std::uint64_t total_instr = 0;
-    std::uint64_t total_accesses = 0;
-    double total_wall = 0.0;
-    for (const Case &c : cases) {
-        CaseResult r = runCase(c, instr, warmup);
-        std::cout << r.name << ": "
-                  << static_cast<std::uint64_t>(
-                         static_cast<double>(r.accesses) /
-                         r.wallSeconds)
-                  << " accesses/sec, "
-                  << static_cast<std::uint64_t>(
-                         static_cast<double>(r.instructions) /
-                         r.wallSeconds)
-                  << " instr/sec (ipc " << r.ipc << ", "
-                  << r.wallSeconds << " s)\n";
-        total_instr += r.instructions;
-        total_accesses += r.accesses;
-        total_wall += r.wallSeconds;
-        results.push_back(std::move(r));
+    auto add_sc = [&](std::string name, SystemConfig cfg,
+                      const WorkloadSpec &spec,
+                      bool anchor = false) {
+        cases.push_back(
+            {std::move(name), std::move(cfg), {spec}, 1, anchor});
+    };
+    // Single-core: the PR 1 quartet (the regression anchor).
+    add_sc("cd1_naive_" + stream.name,
+           makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive),
+           stream, true);
+    add_sc("cd1_naive_" + chase->name,
+           makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive),
+           *chase, true);
+    add_sc("cd1_athena_" + stream.name,
+           makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena),
+           stream, true);
+    add_sc("cd4_athena_" + chase->name,
+           makeDesignConfig(CacheDesign::kCd4, PolicyKind::kAthena),
+           *chase, true);
+    // Athena-policy-heavy: 500-instruction epochs run the full
+    // agent decision loop ~16x more often per simulated
+    // instruction.
+    {
+        SystemConfig cfg =
+            makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+        cfg.epochInstructions = 500;
+        add_sc("cd1_athena_epoch500_" + stream.name, cfg, stream);
+    }
+    // Two coordinated L2C prefetchers (CD3) under Athena.
+    add_sc("cd3_athena_" + stream.name,
+           makeDesignConfig(CacheDesign::kCd3, PolicyKind::kAthena),
+           stream);
+    // 4-core mixes: the multi-core step picker inner loop.
+    {
+        SystemConfig cfg =
+            makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+        cfg.cores = 4;
+        cases.push_back({"mc4_cd1_naive_mix", cfg, mix4, 4});
+        SystemConfig acfg =
+            makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+        acfg.cores = 4;
+        cases.push_back({"mc4_cd1_athena_mix", acfg, mix4, 4});
     }
 
-    double accesses_per_sec =
-        total_wall > 0.0
-            ? static_cast<double>(total_accesses) / total_wall
-            : 0.0;
-    double instr_per_sec =
-        total_wall > 0.0
-            ? static_cast<double>(total_instr) / total_wall
-            : 0.0;
+    // Interleaved repeats: A(all cases) B(baseline) A B ...
+    std::vector<CaseResult> best(cases.size());
+    std::map<std::string, BaselineCase> baseline_cases;
+    bool baseline_new_schema = false;
+    for (unsigned r = 0; r < repeats; ++r) {
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            CaseResult res = runCase(cases[i], instr, warmup);
+            if (best[i].name.empty() ||
+                res.wallSeconds < best[i].wallSeconds)
+                best[i] = res;
+        }
+        if (!ab_baseline.empty())
+            baseline_new_schema |= runBaselineOnce(
+                ab_baseline, instr, warmup, baseline_cases);
+    }
+    // A-side aggregates from per-case bests, mirroring what the
+    // baseline side gets below.
+    std::uint64_t anchor_accesses = 0, ab_sc_accesses = 0;
+    double anchor_wall = 0.0, ab_sc_wall = 0.0;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        if (cases[i].abAnchor) {
+            anchor_accesses += best[i].accesses;
+            anchor_wall += best[i].wallSeconds;
+        }
+        if (cases[i].cfg.cores == 1) {
+            ab_sc_accesses += best[i].accesses;
+            ab_sc_wall += best[i].wallSeconds;
+        }
+    }
+    double baseline_rate = 0.0;
+    {
+        std::uint64_t acc = 0;
+        double wall = 0.0;
+        for (const auto &[name, c] : baseline_cases) {
+            if (c.cores != 1)
+                continue; // compare single-core against single-core
+            acc += c.accesses;
+            wall += c.wallSeconds;
+        }
+        if (wall > 0.0)
+            baseline_rate = static_cast<double>(acc) / wall;
+    }
+
+    std::uint64_t total_instr = 0, total_accesses = 0;
+    std::uint64_t sc_accesses = 0, mc_accesses = 0;
+    double total_wall = 0.0, sc_wall = 0.0, mc_wall = 0.0;
+    for (const CaseResult &res : best) {
+        std::cout << res.name << ": "
+                  << static_cast<std::uint64_t>(
+                         static_cast<double>(res.accesses) /
+                         res.wallSeconds)
+                  << " accesses/sec (" << res.cores << " core, ipc "
+                  << res.ipc << ", " << res.wallSeconds << " s)\n";
+        total_instr += res.instructions;
+        total_accesses += res.accesses;
+        total_wall += res.wallSeconds;
+        if (res.cores == 1) {
+            sc_accesses += res.accesses;
+            sc_wall += res.wallSeconds;
+        } else {
+            mc_accesses += res.accesses;
+            mc_wall += res.wallSeconds;
+        }
+    }
+
+    auto rate = [](std::uint64_t n, double wall) {
+        return wall > 0.0 ? static_cast<double>(n) / wall : 0.0;
+    };
+    double accesses_per_sec = rate(total_accesses, total_wall);
+    double instr_per_sec = rate(total_instr, total_wall);
+    double sc_rate = rate(sc_accesses, sc_wall);
+    double mc_rate = rate(mc_accesses, mc_wall);
 
     std::ofstream json(json_path);
     if (!json) {
@@ -163,24 +355,58 @@ main(int argc, char **argv)
          << "  \"benchmark\": \"bench_throughput\",\n"
          << "  \"sim_instructions\": " << instr << ",\n"
          << "  \"warmup_instructions\": " << warmup << ",\n"
+         << "  \"repeats\": " << repeats << ",\n"
          << "  \"accesses_per_sec\": " << accesses_per_sec << ",\n"
          << "  \"instructions_per_sec\": " << instr_per_sec << ",\n"
-         << "  \"wall_seconds\": " << total_wall << ",\n"
-         << "  \"cases\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const CaseResult &r = results[i];
+         << "  \"single_core_accesses_per_sec\": " << sc_rate
+         << ",\n"
+         << "  \"multi_core_accesses_per_sec\": " << mc_rate
+         << ",\n"
+         << "  \"wall_seconds\": " << total_wall << ",\n";
+    if (!ab_baseline.empty() && baseline_rate > 0.0) {
+        // Like-for-like: a new-schema baseline ran the same matrix
+        // (compare full single-core subtotals); an old-schema
+        // baseline's matrix was exactly today's anchor quartet.
+        double ours =
+            baseline_new_schema
+                ? (ab_sc_wall > 0.0
+                       ? static_cast<double>(ab_sc_accesses) /
+                             ab_sc_wall
+                       : 0.0)
+                : (anchor_wall > 0.0
+                       ? static_cast<double>(anchor_accesses) /
+                             anchor_wall
+                       : 0.0);
+        const char *compared = baseline_new_schema
+                                   ? "single_core"
+                                   : "anchor_quartet";
+        json << "  \"ab\": {\"baseline\": \"" << ab_baseline
+             << "\", \"baseline_accesses_per_sec\": "
+             << baseline_rate << ", \"compared\": \"" << compared
+             << "\", \"single_core_speedup\": "
+             << ours / baseline_rate << "},\n";
+        std::cout << "A/B (" << compared << "): " << ours
+                  << " vs baseline " << baseline_rate << " -> "
+                  << ours / baseline_rate << "x\n";
+    }
+    json << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < best.size(); ++i) {
+        const CaseResult &r = best[i];
         json << "    {\"name\": \"" << r.name << "\", "
+             << "\"cores\": " << r.cores << ", "
              << "\"instructions\": " << r.instructions << ", "
              << "\"accesses\": " << r.accesses << ", "
              << "\"wall_seconds\": " << r.wallSeconds << ", "
              << "\"ipc\": " << r.ipc << "}"
-             << (i + 1 < results.size() ? "," : "") << "\n";
+             << (i + 1 < best.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
 
     std::cout << "TOTAL: "
               << static_cast<std::uint64_t>(accesses_per_sec)
-              << " accesses/sec over " << total_wall
-              << " s -> " << json_path << "\n";
+              << " accesses/sec (sc "
+              << static_cast<std::uint64_t>(sc_rate) << ", mc "
+              << static_cast<std::uint64_t>(mc_rate) << ") over "
+              << total_wall << " s -> " << json_path << "\n";
     return 0;
 }

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Throughput regression guard.
+
+Compares a freshly measured BENCH_throughput.json against the
+committed baseline and fails (exit 1) when aggregate accesses/sec
+regressed by more than the allowed percentage.
+
+Usage:
+    throughput_guard.py BASELINE.json NEW.json [--max-regression-pct N]
+
+Environment:
+    ATHENA_REGRESSION_PCT   overrides the threshold (useful on noisy
+                            shared CI runners; the committed baseline
+                            is measured on a quiet box)
+    ATHENA_SKIP_THROUGHPUT_GUARD=1   skips the check entirely
+
+The committed baseline and the CI runner are different machines, so
+the guard is a coarse parachute against order-of-magnitude
+regressions (an accidentally quadratic loop, a debug build slipping
+into Release), not a precision gate — precision comparisons are done
+locally with the bench's interleaved A/B mode (ATHENA_AB_BASELINE).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def rate(doc: dict) -> float:
+    return float(doc.get("accesses_per_sec", 0.0))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--max-regression-pct", type=float,
+                        default=10.0)
+    parser.add_argument(
+        "--advisory", action="store_true",
+        help="report the comparison but always exit 0 — for "
+             "cross-machine comparisons (e.g. hosted CI runners vs "
+             "a committed dev-box baseline) where absolute rates "
+             "are not commensurable")
+    args = parser.parse_args()
+    advisory = (args.advisory or
+                os.environ.get("ATHENA_GUARD_ADVISORY") == "1")
+
+    if os.environ.get("ATHENA_SKIP_THROUGHPUT_GUARD") == "1":
+        print("throughput_guard: skipped "
+              "(ATHENA_SKIP_THROUGHPUT_GUARD=1)")
+        return 0
+
+    pct = args.max_regression_pct
+    env_pct = os.environ.get("ATHENA_REGRESSION_PCT")
+    if env_pct:
+        pct = float(env_pct)
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    base_rate, new_rate = rate(base), rate(new)
+    if base_rate <= 0.0:
+        print("throughput_guard: baseline has no accesses_per_sec; "
+              "nothing to compare")
+        return 0
+
+    change = (new_rate / base_rate - 1.0) * 100.0
+    floor = base_rate * (1.0 - pct / 100.0)
+    print(f"throughput_guard: baseline {base_rate:,.0f} acc/s, "
+          f"new {new_rate:,.0f} acc/s ({change:+.1f}%), "
+          f"allowed regression {pct:.0f}%")
+
+    # Per-case detail for the log (cases are matched by name; new
+    # cases are informational only).
+    base_cases = {c["name"]: c for c in base.get("cases", [])}
+    for c in new.get("cases", []):
+        b = base_cases.get(c["name"])
+        if not b or not b.get("wall_seconds"):
+            continue
+        br = b["accesses"] / b["wall_seconds"]
+        nr = c["accesses"] / c["wall_seconds"]
+        print(f"  {c['name']}: {nr:,.0f} vs {br:,.0f} "
+              f"({(nr / br - 1) * 100.0:+.1f}%)")
+
+    if new_rate < floor:
+        if advisory:
+            print(f"throughput_guard: WARN (advisory) — regression "
+                  f"exceeds {pct}% (floor {floor:,.0f} acc/s); not "
+                  "failing because this comparison crosses machines")
+            return 0
+        print(f"throughput_guard: FAIL — regression exceeds {pct}% "
+              f"(floor {floor:,.0f} acc/s). Override with "
+              "ATHENA_REGRESSION_PCT for known-noisy runners.")
+        return 1
+    print("throughput_guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

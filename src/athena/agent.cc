@@ -74,8 +74,9 @@ AthenaAgent::degreeScaleFor(std::uint32_t state, unsigned action) const
         return 0.0;
     // Algorithm 1: confidence = separation of the selected action's
     // Q-value from the mean of the alternatives, normalized by tau.
-    double dq = qvstore.q(state, action) -
-                qvstore.meanOfOthers(state, action);
+    // Single-pass: the state's plane rows are resolved once for the
+    // whole separation instead of once per q() term.
+    double dq = qvstore.qSeparation(state, action);
     if (dq <= 0.0)
         return 0.0;
     return std::min(1.0, dq / cfg.tau);

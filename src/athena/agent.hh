@@ -92,7 +92,8 @@ class AthenaAgent : public CoordinationPolicy
 
     // --- introspection ----------------------------------------
     /** Per-action selection counts (Fig. 17 case study). */
-    const std::array<std::uint64_t, 4> &actionHistogram() const
+    std::array<std::uint64_t, 4>
+    actionHistogram() const override
     {
         return actionCounts;
     }

@@ -15,13 +15,23 @@ namespace athena
 
 BloomFilter::BloomFilter(unsigned bits, unsigned hashes)
     : bitCount(bits), hashCount(hashes), words((bits + 63) / 64, 0)
-{}
+{
+    if (bits && (bits & (bits - 1)) == 0)
+        bitMask = bits - 1; // pow2: modulo is a mask (hot path)
+}
+
+std::uint64_t
+BloomFilter::bitOf(std::uint64_t key, unsigned h) const
+{
+    std::uint64_t hash = keyedHash(key, h);
+    return bitMask ? (hash & bitMask) : hash % bitCount;
+}
 
 void
 BloomFilter::insert(std::uint64_t key)
 {
     for (unsigned h = 0; h < hashCount; ++h) {
-        std::uint64_t bit = keyedHash(key, h) % bitCount;
+        std::uint64_t bit = bitOf(key, h);
         words[bit >> 6] |= 1ull << (bit & 63);
     }
     ++inserted;
@@ -31,7 +41,7 @@ bool
 BloomFilter::mayContain(std::uint64_t key) const
 {
     for (unsigned h = 0; h < hashCount; ++h) {
-        std::uint64_t bit = keyedHash(key, h) % bitCount;
+        std::uint64_t bit = bitOf(key, h);
         if (!(words[bit >> 6] & (1ull << (bit & 63))))
             return false;
     }

@@ -51,8 +51,13 @@ class BloomFilter
     double falsePositiveRate(std::uint64_t n) const;
 
   private:
+    /** bit index for hash h of key (mask when bits is pow2). */
+    std::uint64_t bitOf(std::uint64_t key, unsigned h) const;
+
     unsigned bitCount;
     unsigned hashCount;
+    /** bitCount - 1 when bitCount is a power of two, else 0. */
+    std::uint64_t bitMask = 0;
     std::vector<std::uint64_t> words;
     std::uint64_t inserted = 0;
 };

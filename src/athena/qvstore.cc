@@ -15,8 +15,20 @@
 namespace athena
 {
 
+namespace
+{
+
+/** Memo covers packed states up to 16 bits (64 K x planes words). */
+constexpr unsigned kMemoMaxStateBits = 16;
+
+} // namespace
+
 QVStore::QVStore(const QVStoreParams &params) : cfg(params)
 {
+    unsigned state_bits = cfg.stateFields * cfg.bitsPerField;
+    if (cfg.memoizeRows && state_bits <= kMemoMaxStateBits)
+        memoStates = 1u << state_bits;
+    rowScratch.resize(cfg.planes);
     reset();
 }
 
@@ -86,13 +98,43 @@ QVStore::addToEntry(unsigned p, std::size_t row, unsigned a,
     }
 }
 
+const std::uint32_t *
+QVStore::rowsFor(std::uint32_t state) const
+{
+    if (state < memoStates) {
+        if (memoRows.empty()) {
+            memoRows.resize(static_cast<std::size_t>(memoStates) *
+                            cfg.planes);
+            memoValid.assign(memoStates, 0);
+        }
+        std::uint32_t *rows =
+            &memoRows[static_cast<std::size_t>(state) * cfg.planes];
+        if (!memoValid[state]) {
+            for (unsigned p = 0; p < cfg.planes; ++p)
+                rows[p] =
+                    static_cast<std::uint32_t>(rowOf(state, p));
+            memoValid[state] = 1;
+        }
+        return rows;
+    }
+    for (unsigned p = 0; p < cfg.planes; ++p)
+        rowScratch[p] = static_cast<std::uint32_t>(rowOf(state, p));
+    return rowScratch.data();
+}
+
 double
-QVStore::q(std::uint32_t state, unsigned action) const
+QVStore::qRows(const std::uint32_t *rows, unsigned action) const
 {
     double sum = 0.0;
     for (unsigned p = 0; p < cfg.planes; ++p)
-        sum += entry(p, rowOf(state, p), action);
+        sum += entry(p, rows[p], action);
     return sum;
+}
+
+double
+QVStore::q(std::uint32_t state, unsigned action) const
+{
+    return qRows(rowsFor(state), action);
 }
 
 unsigned
@@ -102,10 +144,11 @@ QVStore::argmax(std::uint32_t state) const
     // (fresh optimistic entries) resolve to the most speculative
     // action — the agent starts from the Naive prior and learns to
     // pull back, rather than starting dark.
+    const std::uint32_t *rows = rowsFor(state);
     unsigned best = cfg.actions - 1;
-    double best_q = q(state, best);
+    double best_q = qRows(rows, best);
     for (unsigned a = cfg.actions - 1; a-- > 0;) {
-        double v = q(state, a);
+        double v = qRows(rows, a);
         if (v > best_q) {
             best_q = v;
             best = a;
@@ -119,24 +162,44 @@ QVStore::meanOfOthers(std::uint32_t state, unsigned excluded) const
 {
     if (cfg.actions <= 1)
         return 0.0;
+    const std::uint32_t *rows = rowsFor(state);
     double sum = 0.0;
     for (unsigned a = 0; a < cfg.actions; ++a) {
         if (a != excluded)
-            sum += q(state, a);
+            sum += qRows(rows, a);
     }
     return sum / static_cast<double>(cfg.actions - 1);
+}
+
+double
+QVStore::qSeparation(std::uint32_t state, unsigned action) const
+{
+    const std::uint32_t *rows = rowsFor(state);
+    double q_a = qRows(rows, action);
+    if (cfg.actions <= 1)
+        return q_a;
+    double sum = 0.0;
+    for (unsigned a = 0; a < cfg.actions; ++a) {
+        if (a != action)
+            sum += qRows(rows, a);
+    }
+    return q_a - sum / static_cast<double>(cfg.actions - 1);
 }
 
 void
 QVStore::update(std::uint32_t s, unsigned a, double reward,
                 std::uint32_t s_next, unsigned a_next)
 {
+    // Extract q(s', a') before re-resolving rows for s: on the
+    // scratch path the second rowsFor() invalidates the first.
+    double q_next = qRows(rowsFor(s_next), a_next);
+    const std::uint32_t *rows_s = rowsFor(s);
     double td_error =
-        reward + cfg.gamma * q(s_next, a_next) - q(s, a);
+        reward + cfg.gamma * q_next - qRows(rows_s, a);
     double per_plane = cfg.alpha * td_error /
                        static_cast<double>(cfg.planes);
     for (unsigned p = 0; p < cfg.planes; ++p)
-        addToEntry(p, rowOf(s, p), a, per_plane);
+        addToEntry(p, rows_s[p], a, per_plane);
 }
 
 void

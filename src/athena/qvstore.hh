@@ -58,6 +58,15 @@ struct QVStoreParams
     double initQ = 0.5;
     /** Seed for the stochastic-rounding RNG (quantized mode). */
     std::uint64_t roundingSeed = 0x51ed5eedull;
+    /**
+     * Memoize per-plane row indices across calls. Rows are a pure
+     * function of (state, geometry), so the memo is exact — it only
+     * trades a small lazily-allocated table for re-hashing every
+     * plane on every q/argmax/update in the decision hot loop.
+     * Tests disable this to cross-check bit-equivalence against the
+     * per-call hashing path.
+     */
+    bool memoizeRows = true;
 };
 
 class QVStore
@@ -73,6 +82,14 @@ class QVStore
 
     /** Mean Q over all actions except @p excluded (Algorithm 1). */
     double meanOfOthers(std::uint32_t state, unsigned excluded) const;
+
+    /**
+     * Algorithm 1's confidence input in one pass:
+     *   q(state, action) - meanOfOthers(state, action)
+     * with the state's row indices resolved once instead of once
+     * per q() term.
+     */
+    double qSeparation(std::uint32_t state, unsigned action) const;
 
     /**
      * SARSA update:
@@ -103,6 +120,19 @@ class QVStore
     /** Row index of @p state in plane @p p. */
     std::size_t rowOf(std::uint32_t state, unsigned p) const;
 
+    /**
+     * All planes' row indices for @p state, computed once per call
+     * chain. Returns a pointer into the cross-call memo when the
+     * state fits the packed state space (and memoization is on), or
+     * into a per-store scratch array otherwise. The pointer is
+     * invalidated by the next rowsFor() call on the scratch path —
+     * callers extract everything they need before re-calling.
+     */
+    const std::uint32_t *rowsFor(std::uint32_t state) const;
+
+    /** Summed Q over planes with pre-resolved row indices. */
+    double qRows(const std::uint32_t *rows, unsigned action) const;
+
     double entry(unsigned p, std::size_t row, unsigned a) const;
     void addToEntry(unsigned p, std::size_t row, unsigned a,
                     double delta);
@@ -114,6 +144,14 @@ class QVStore
     std::vector<double> floatEntries;
     /** xorshift state for stochastic rounding. */
     mutable std::uint64_t roundState = 1;
+
+    /** Packed-state count covered by the memo (0 = disabled). */
+    std::uint32_t memoStates = 0;
+    /** Lazily-built memo: memoStates x planes row indices. */
+    mutable std::vector<std::uint32_t> memoRows;
+    mutable std::vector<std::uint8_t> memoValid;
+    /** Fallback row buffer for out-of-range states. */
+    mutable std::vector<std::uint32_t> rowScratch;
 };
 
 } // namespace athena

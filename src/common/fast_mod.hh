@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Exact fast modulo by a runtime-constant divisor.
+ *
+ * The workload generators reduce full-range RNG words modulo
+ * arbitrary (non-power-of-two) footprint sizes on nearly every
+ * generated access; a 64-bit hardware divide there is one of the
+ * larger single costs on the simulation hot path. FastMod
+ * precomputes floor(2^64 / m) once and reduces via one widening
+ * multiply plus at most one conditional subtract — the standard
+ * Barrett argument bounds the quotient estimate error to 1, so the
+ * result is bit-identical to the hardware `%` for every input.
+ * Power-of-two divisors reduce with a mask.
+ */
+
+#ifndef ATHENA_COMMON_FAST_MOD_HH
+#define ATHENA_COMMON_FAST_MOD_HH
+
+#include <cstdint>
+
+namespace athena
+{
+
+class FastMod
+{
+  public:
+    FastMod() = default;
+
+    explicit FastMod(std::uint64_t m) { init(m); }
+
+    void
+    init(std::uint64_t m)
+    {
+        div = m ? m : 1;
+        if ((div & (div - 1)) == 0) {
+            pow2Mask = div - 1;
+            usePow2 = true;
+        } else {
+            // floor(2^64 / m) == floor((2^64 - 1) / m) for any m
+            // that is not a power of two (2^64 mod m != 0).
+            magic = ~0ull / div;
+            usePow2 = false;
+        }
+    }
+
+    std::uint64_t divisor() const { return div; }
+
+    std::uint64_t
+    mod(std::uint64_t x) const
+    {
+        if (usePow2)
+            return x & pow2Mask;
+        // q_hat in {q, q-1}: magic underestimates 2^64/m by less
+        // than m/2^64 relative, so one subtract corrects it.
+        auto q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(x) * magic) >> 64);
+        std::uint64_t r = x - q * div;
+        if (r >= div)
+            r -= div;
+        return r;
+    }
+
+  private:
+    std::uint64_t div = 1;
+    std::uint64_t magic = 0;
+    std::uint64_t pow2Mask = 0;
+    bool usePow2 = true;
+};
+
+} // namespace athena
+
+#endif // ATHENA_COMMON_FAST_MOD_HH

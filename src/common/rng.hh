@@ -69,6 +69,33 @@ class Rng
         return uniform() < p;
     }
 
+    /**
+     * Precomputed-threshold form of chance(): uniform() < p is
+     * exactly u < p * 2^53 for u = next() >> 11 (both sides exact
+     * in double — u < 2^53 and the scale is a power of two), so a
+     * caller that rolls against the same p every time can hoist the
+     * float work into one ceil at setup. chanceT(chanceThreshold(p))
+     * consumes one draw and returns bit-identical outcomes to
+     * chance(p).
+     */
+    static std::uint64_t
+    chanceThreshold(double p)
+    {
+        constexpr double kScale = 9007199254740992.0; // 2^53
+        if (p <= 0.0)
+            return 0;
+        if (p >= 1.0)
+            return 1ull << 53;
+        return static_cast<std::uint64_t>(__builtin_ceil(p * kScale));
+    }
+
+    /** Bernoulli trial against a chanceThreshold() value. */
+    bool
+    chanceT(std::uint64_t threshold)
+    {
+        return (next() >> 11) < threshold;
+    }
+
     /** Current internal state (for tests of determinism). */
     std::uint64_t rawState() const { return state; }
 

@@ -134,6 +134,9 @@ class CoordinationPolicy
     /**
      * Per-demand-load observation hook: the resolved outcome of
      * every demand load (TLP trains its internal perceptron here).
+     * A policy that overrides this must also override
+     * observesDemandStream() to return true, or the memory system
+     * skips the call on the access path.
      */
     virtual void
     onDemandResolved(std::uint64_t pc, Addr addr, bool went_offchip)
@@ -143,9 +146,14 @@ class CoordinationPolicy
         (void)went_offchip;
     }
 
+    /** Capability flag gating the per-load onDemandResolved call. */
+    virtual bool observesDemandStream() const { return false; }
+
     /**
      * Per-request prefetch filter hook (TLP). Return true to DROP
-     * the prefetch to @p addr triggered at @p level.
+     * the prefetch to @p addr triggered at @p level. A policy that
+     * overrides this must also override filtersPrefetches() to
+     * return true, or the memory system never consults the filter.
      */
     virtual bool
     filterPrefetch(CacheLevel level, std::uint64_t pc, Addr addr)
@@ -156,11 +164,26 @@ class CoordinationPolicy
         return false;
     }
 
+    /** Capability flag gating the per-prefetch filter call. */
+    virtual bool filtersPrefetches() const { return false; }
+
     /** Clear learned state. */
     virtual void reset() = 0;
 
     /** Metadata budget in bits (Table 8 accounting). */
     virtual std::size_t storageBits() const = 0;
+
+    /**
+     * Per-action selection counts for policies that choose among
+     * discrete actions (Fig. 17 reporting). Default: all zeros.
+     * Virtual so the result path needs no RTTI probe for specific
+     * policy types.
+     */
+    virtual std::array<std::uint64_t, 4>
+    actionHistogram() const
+    {
+        return {};
+    }
 };
 
 /** Built-in policy kinds. */

@@ -40,9 +40,11 @@ class TlpPolicy : public CoordinationPolicy
 
     void onDemandResolved(std::uint64_t pc, Addr addr,
                           bool went_offchip) override;
+    bool observesDemandStream() const override { return true; }
 
     bool filterPrefetch(CacheLevel level, std::uint64_t pc,
                         Addr addr) override;
+    bool filtersPrefetches() const override { return true; }
 
     void reset() override;
 

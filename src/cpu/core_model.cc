@@ -13,13 +13,15 @@ namespace athena
 CoreModel::CoreModel(const CoreParams &params, WorkloadGenerator &wl,
                      MemoryInterface &mem)
     : cfg(params), workload(wl), memory(mem)
-{}
+{
+    rob.resize(cfg.robSize ? cfg.robSize : 1, 0);
+    outstandingMisses.reserve(cfg.l1Mshrs + 1);
+}
 
 Cycle
 CoreModel::retireHead()
 {
-    Cycle completion = rob.front();
-    rob.pop_front();
+    Cycle completion = robPopFront();
     Cycle t = std::max(completion, lastRetireCycle);
     if (t == lastRetireCycle) {
         if (retireSlots >= cfg.width) {
@@ -40,7 +42,7 @@ CoreModel::step()
 {
     // ROB occupancy: dispatching a new instruction requires the
     // oldest one to have retired once the window is full.
-    if (rob.size() >= cfg.robSize) {
+    if (robCount >= cfg.robSize) {
         Cycle freed = retireHead();
         if (freed > dispatchCycle) {
             dispatchCycle = freed;
@@ -94,20 +96,32 @@ CoreModel::step()
                 issue = std::max(issue, prevLoadComplete);
 
             // MSHR occupancy: drain completed misses, then stall
-            // issue until a slot frees if still full.
-            while (!outstandingMisses.empty() &&
-                   outstandingMisses.top() <= issue) {
-                outstandingMisses.pop();
+            // issue until a slot frees (the earliest completion)
+            // if still full.
+            for (std::size_t k = 0; k < outstandingMisses.size();) {
+                if (outstandingMisses[k] <= issue) {
+                    outstandingMisses[k] = outstandingMisses.back();
+                    outstandingMisses.pop_back();
+                } else {
+                    ++k;
+                }
             }
             if (outstandingMisses.size() >= cfg.l1Mshrs) {
-                issue = outstandingMisses.top();
-                outstandingMisses.pop();
+                std::size_t m = 0;
+                for (std::size_t k = 1;
+                     k < outstandingMisses.size(); ++k) {
+                    if (outstandingMisses[k] < outstandingMisses[m])
+                        m = k;
+                }
+                issue = outstandingMisses[m];
+                outstandingMisses[m] = outstandingMisses.back();
+                outstandingMisses.pop_back();
             }
 
             bool l1_miss = false;
             completion = memory.load(rec.pc, rec.addr, issue, l1_miss);
             if (l1_miss)
-                outstandingMisses.push(completion);
+                outstandingMisses.push_back(completion);
             prevLoadComplete = completion;
             // A near-term consumer gates the front end on this
             // load's value: dependent work cannot dispatch until
@@ -120,7 +134,7 @@ CoreModel::step()
         }
     }
 
-    rob.push_back(completion);
+    robPushBack(completion);
     frontier = std::max(frontier, completion);
     return completion;
 }
@@ -132,11 +146,11 @@ CoreModel::reset()
     branchPredictor.reset();
     dispatchCycle = 0;
     dispatchSlots = 0;
-    rob.clear();
+    robHead = 0;
+    robCount = 0;
     lastRetireCycle = 0;
     retireSlots = 0;
-    while (!outstandingMisses.empty())
-        outstandingMisses.pop();
+    outstandingMisses.clear();
     prevLoadComplete = 0;
     frontier = 0;
     stats = CoreCounters{};

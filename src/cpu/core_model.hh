@@ -19,9 +19,6 @@
 #define ATHENA_CPU_CORE_MODEL_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -125,14 +122,51 @@ class CoreModel
     Cycle dispatchCycle = 0;
     unsigned dispatchSlots = 0;
 
-    /** ROB: completion cycles in program order. */
-    std::deque<Cycle> rob;
+    /**
+     * ROB: completion cycles in program order, as a fixed-capacity
+     * ring (capacity robSize; occupancy never exceeds it because
+     * step() retires the head before dispatching into a full
+     * window). A deque here cost segment bookkeeping on every
+     * instruction of every simulation.
+     */
+    std::vector<Cycle> rob;
+    unsigned robHead = 0;  ///< Index of the oldest entry.
+    unsigned robCount = 0; ///< Current occupancy.
     Cycle lastRetireCycle = 0;
     unsigned retireSlots = 0;
 
-    /** Outstanding L1-miss completions (MSHR occupancy). */
-    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
-        outstandingMisses;
+    /** Pop the oldest ROB entry. */
+    Cycle
+    robPopFront()
+    {
+        Cycle v = rob[robHead];
+        robHead = robHead + 1 == rob.size()
+                      ? 0
+                      : robHead + 1;
+        --robCount;
+        return v;
+    }
+
+    /** Append to the ROB (capacity guaranteed by the caller). */
+    void
+    robPushBack(Cycle v)
+    {
+        std::size_t tail = robHead + robCount;
+        if (tail >= rob.size())
+            tail -= rob.size();
+        rob[tail] = v;
+        ++robCount;
+    }
+
+    /**
+     * Outstanding L1-miss completions (MSHR occupancy). A small
+     * unsorted array: the model only ever needs "drain everything
+     * <= issue" and "extract the minimum when full", both linear
+     * over at most l1Mshrs (16) entries — cheaper than heap
+     * maintenance on the per-load path, with identical semantics
+     * (the structure is a multiset; removal order is unobservable).
+     */
+    std::vector<Cycle> outstandingMisses;
 
     Cycle prevLoadComplete = 0;
     Cycle frontier = 0;

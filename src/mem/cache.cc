@@ -31,18 +31,27 @@ Cache::Cache(const CacheParams &params) : cfg(params)
     setBits = static_cast<unsigned>(std::bit_width(n_sets) - 1);
     sets = 1u << setBits;
     tagv.resize(static_cast<std::size_t>(sets) * cfg.ways, 0);
+    lru.resize(static_cast<std::size_t>(sets) * cfg.ways, 0);
+    mruWay.resize(sets, 0);
     lines.resize(static_cast<std::size_t>(sets) * cfg.ways);
 }
 
 CacheLookup
-Cache::access(Addr line_num, Cycle now)
+Cache::access(const CacheRef &r, Cycle now)
 {
     CacheLookup res;
-    const std::size_t base = setBase(line_num);
-    int w = findWay(base, keyOf(line_num));
-    if (w < 0) {
-        ++statMisses;
-        return res;
+    const std::size_t base = r.base;
+    const unsigned set = setIndex(r.line);
+    // Way prediction: probe the set's most-recently-hit way before
+    // scanning. The key check makes this a pure shortcut.
+    int w = mruWay[set];
+    if (tagv[base + static_cast<std::size_t>(w)] != r.key) {
+        w = findWay(base, r.key);
+        if (w < 0) {
+            ++statMisses;
+            return res;
+        }
+        mruWay[set] = static_cast<std::uint8_t>(w);
     }
     ++statHits;
     Line &line = lines[base + static_cast<std::size_t>(w)];
@@ -55,62 +64,63 @@ Cache::access(Addr line_num, Cycle now)
         res.pfFromDram = line.pfFromDram;
         line.prefetched = false;
     }
-    line.lruStamp = ++lruClock;
+    lru[base + static_cast<std::size_t>(w)] = ++lruClock;
     if (now > line.readyAt)
         line.readyAt = now;
     return res;
 }
 
 bool
-Cache::contains(Addr line_num) const
+Cache::touch(const CacheRef &r)
 {
-    return findWay(setBase(line_num), keyOf(line_num)) >= 0;
-}
-
-bool
-Cache::touch(Addr line_num)
-{
-    const std::size_t base = setBase(line_num);
-    int w = findWay(base, keyOf(line_num));
+    const std::size_t base = r.base;
+    int w = findWay(base, r.key);
     if (w < 0)
         return false;
-    lines[base + static_cast<std::size_t>(w)].lruStamp = ++lruClock;
+    lru[base + static_cast<std::size_t>(w)] = ++lruClock;
     return true;
 }
 
 CacheEviction
-Cache::fill(Addr line_num, Cycle now, Cycle ready_at, bool is_prefetch,
-            std::uint8_t pf_slot, std::uint64_t pf_meta,
-            bool pf_from_dram)
+Cache::fill(const CacheRef &r, Cycle now, Cycle ready_at,
+            bool is_prefetch, std::uint8_t pf_slot,
+            std::uint64_t pf_meta, bool pf_from_dram)
 {
     CacheEviction ev;
     ev.causedByPrefetch = is_prefetch;
 
-    const std::size_t base = setBase(line_num);
-    if (int w = findWay(base, keyOf(line_num)); w >= 0) {
-        // Refill of a resident line: refresh metadata only.
-        lines[base + static_cast<std::size_t>(w)].lruStamp =
-            ++lruClock;
-        return ev;
-    }
-
+    const std::size_t base = r.base;
     std::uint64_t *tags = &tagv[base];
+    std::uint64_t *stamps = &lru[base];
     Line *set = &lines[base];
+
+    // Single fused way-scan: resident check and victim selection
+    // (first invalid way, else LRU) in one pass over the tag array.
+    // Fill is the second-hottest cache operation after access, and
+    // the common case is a miss-fill that used to scan twice.
     unsigned victim_w = 0;
+    bool have_invalid = false;
     for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (tags[w] == r.key) {
+            // Refill of a resident line: refresh metadata only.
+            stamps[w] = ++lruClock;
+            return ev;
+        }
+        if (have_invalid)
+            continue;
         if (!(tags[w] & 1)) {
             victim_w = w;
-            break;
-        }
-        if (set[w].lruStamp < set[victim_w].lruStamp)
+            have_invalid = true;
+        } else if (stamps[w] < stamps[victim_w]) {
             victim_w = w;
+        }
     }
     Line *victim = &set[victim_w];
 
     if (tags[victim_w] & 1) {
         ev.evictedValid = true;
         ev.evictedLine =
-            ((tags[victim_w] >> 1) << setBits) | setIndex(line_num);
+            ((tags[victim_w] >> 1) << setBits) | setIndex(r.line);
         if (victim->prefetched) {
             ev.evictedUnusedPrefetch = true;
             ev.evictedPfMeta = victim->pfMeta;
@@ -120,13 +130,14 @@ Cache::fill(Addr line_num, Cycle now, Cycle ready_at, bool is_prefetch,
         }
     }
 
-    tags[victim_w] = keyOf(line_num);
+    tags[victim_w] = r.key;
     victim->prefetched = is_prefetch;
     victim->pfSlot = pf_slot;
     victim->pfMeta = pf_meta;
     victim->pfFromDram = pf_from_dram;
     victim->readyAt = ready_at;
-    victim->lruStamp = ++lruClock;
+    stamps[victim_w] = ++lruClock;
+    mruWay[setIndex(r.line)] = static_cast<std::uint8_t>(victim_w);
     if (is_prefetch)
         ++statPrefetchFills;
     (void)now;
@@ -146,6 +157,10 @@ Cache::reset()
 {
     for (auto &t : tagv)
         t = 0;
+    for (auto &s : lru)
+        s = 0;
+    for (auto &m : mruWay)
+        m = 0;
     for (auto &line : lines)
         line = Line{};
     lruClock = 0;

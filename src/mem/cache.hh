@@ -66,6 +66,20 @@ struct CacheEviction
 };
 
 /**
+ * Precomputed lookup coordinates of one line in this cache level:
+ * the set base offset, the packed tag key, and the line number.
+ * The demand walk computes one CacheRef per level per access and
+ * reuses it across the lookup -> fill sequence, so the set/tag
+ * arithmetic runs once instead of once per cache operation.
+ */
+struct CacheRef
+{
+    std::size_t base = 0;  ///< setIndex * ways into the way arrays.
+    std::uint64_t key = 0; ///< Packed (tag << 1) | valid.
+    Addr line = 0;         ///< The line number (fill metadata).
+};
+
+/**
  * One cache level. Indexed by cache-line number (byte addr >> 6).
  */
 class Cache
@@ -73,26 +87,47 @@ class Cache
   public:
     explicit Cache(const CacheParams &params);
 
+    /** Precompute the lookup coordinates of a line (pure). */
+    CacheRef
+    ref(Addr line_num) const
+    {
+        return {setBase(line_num), keyOf(line_num), line_num};
+    }
+
     /**
      * Demand lookup: updates LRU and clears the prefetched bit on a
      * hit (first touch is reported).
      */
-    CacheLookup access(Addr line_num, Cycle now);
+    CacheLookup access(const CacheRef &ref, Cycle now);
+    CacheLookup
+    access(Addr line_num, Cycle now)
+    {
+        return access(ref(line_num), now);
+    }
 
     /** Probe without disturbing replacement or prefetch state. */
-    bool contains(Addr line_num) const;
+    bool
+    contains(const CacheRef &r) const
+    {
+        return findWay(r.base, r.key) >= 0;
+    }
+    bool contains(Addr line_num) const
+    {
+        return contains(ref(line_num));
+    }
 
     /**
      * Prefetch lookup: updates LRU but does NOT clear the
      * prefetched bit (a prefetch touching a prefetched line does
      * not count as a demand use).
      */
-    bool touch(Addr line_num);
+    bool touch(const CacheRef &ref);
+    bool touch(Addr line_num) { return touch(ref(line_num)); }
 
     /**
      * Insert a line.
      *
-     * @param line_num   cache-line number
+     * @param ref        precomputed coordinates (see ref())
      * @param now        current cycle (LRU stamp)
      * @param ready_at   cycle the data actually arrives
      * @param is_prefetch fill caused by a prefetcher
@@ -100,10 +135,18 @@ class Cache
      * @param pf_meta    prefetcher credit token
      * @param pf_from_dram the prefetch data came from main memory
      */
-    CacheEviction fill(Addr line_num, Cycle now, Cycle ready_at,
+    CacheEviction fill(const CacheRef &ref, Cycle now, Cycle ready_at,
                        bool is_prefetch, std::uint8_t pf_slot = 0,
                        std::uint64_t pf_meta = 0,
                        bool pf_from_dram = false);
+    CacheEviction
+    fill(Addr line_num, Cycle now, Cycle ready_at, bool is_prefetch,
+         std::uint8_t pf_slot = 0, std::uint64_t pf_meta = 0,
+         bool pf_from_dram = false)
+    {
+        return fill(ref(line_num), now, ready_at, is_prefetch,
+                    pf_slot, pf_meta, pf_from_dram);
+    }
 
     /** Invalidate a single line if present. */
     void invalidate(Addr line_num);
@@ -123,8 +166,10 @@ class Cache
   private:
     /**
      * Cold per-line metadata. The tag and valid bit live separately
-     * in the packed #tagv array so the way-scan of a lookup streams
-     * through 8 bytes per way instead of pulling in this struct.
+     * in the packed #tagv array (lookup way-scan) and the LRU
+     * stamps in the packed #lru array (victim way-scan), so both
+     * hot scans stream through 8 bytes per way instead of pulling
+     * in this struct.
      */
     struct Line
     {
@@ -133,7 +178,6 @@ class Cache
         std::uint8_t pfSlot = 0;
         std::uint64_t pfMeta = 0;
         Cycle readyAt = 0;
-        std::uint64_t lruStamp = 0;
     };
 
     unsigned setIndex(Addr line_num) const
@@ -174,6 +218,18 @@ class Cache
      * miss has to scan.
      */
     std::vector<std::uint64_t> tagv;
+    /** LRU stamps, sets * ways row-major: the only array the
+     *  victim scan of a fill has to read. */
+    std::vector<std::uint64_t> lru;
+    /**
+     * Per-set most-recently-hit way — a way-prediction hint for the
+     * demand lookup. Purely an optimization: the probe verifies the
+     * full key, so a stale hint only costs the scan it would have
+     * done anyway (results are unchanged). Demand streams re-touch
+     * the same line often enough that the one-compare fast path
+     * wins on every hit-heavy workload.
+     */
+    std::vector<std::uint8_t> mruWay;
     std::vector<Line> lines; ///< sets * ways, row-major by set.
 };
 

@@ -6,6 +6,7 @@
 #include "mem/dram.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -21,16 +22,37 @@ Dram::Dram(const DramParams &params) : cfg(params)
     lineCycles = static_cast<double>(kLineBytes) / cfg.bandwidthGBps *
                  cfg.coreGHz;
     tCycles = static_cast<Cycle>(std::llround(cfg.tNs * cfg.coreGHz));
+    lineOccupancy = static_cast<Cycle>(std::llround(lineCycles));
+    const std::uint64_t lines_per_row = cfg.rowBytes / kLineBytes;
+    if (std::has_single_bit(lines_per_row) &&
+        std::has_single_bit(static_cast<std::uint64_t>(bankCount))) {
+        shiftDecode = true;
+        rowShift = static_cast<unsigned>(
+            std::bit_width(lines_per_row) - 1);
+        bankShift = static_cast<unsigned>(
+            std::bit_width(static_cast<std::uint64_t>(bankCount)) -
+            1);
+        bankMask = bankCount - 1;
+    }
     reset();
 }
 
 Cycle
 Dram::serve(Cycle arrival, Addr line_num, AccessType type)
 {
-    const std::uint64_t lines_per_row = cfg.rowBytes / kLineBytes;
-    unsigned bank = static_cast<unsigned>(
-        (line_num / lines_per_row) % bankCount);
-    Addr row = line_num / (lines_per_row * bankCount);
+    unsigned bank;
+    Addr row;
+    if (shiftDecode) {
+        bank =
+            static_cast<unsigned>((line_num >> rowShift) & bankMask);
+        row = line_num >> (rowShift + bankShift);
+    } else {
+        const std::uint64_t lines_per_row =
+            cfg.rowBytes / kLineBytes;
+        bank = static_cast<unsigned>((line_num / lines_per_row) %
+                                     bankCount);
+        row = line_num / (lines_per_row * bankCount);
+    }
 
     Bank &b = bankState[bank];
     Cycle bank_free = std::max(arrival, b.busyUntil);
@@ -59,7 +81,7 @@ Dram::serve(Cycle arrival, Addr line_num, AccessType type)
 
     Cycle transfer_start =
         std::max(column_ready + tCycles, busNextFree);
-    auto occupancy = static_cast<Cycle>(std::llround(lineCycles));
+    const Cycle occupancy = lineOccupancy;
     Cycle done = transfer_start + occupancy;
     busNextFree = done;
 

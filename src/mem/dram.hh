@@ -109,6 +109,19 @@ class Dram
     DramParams cfg;
     double lineCycles;  ///< Bus occupancy per line.
     Cycle tCycles;      ///< tRCD = tRP = tCAS in cycles.
+    /** lineCycles rounded once at construction (serve hot path). */
+    Cycle lineOccupancy = 0;
+    /**
+     * Power-of-two address decomposition, precomputed so serve()
+     * runs shift/mask instead of two 64-bit divisions per request.
+     * rowShift = log2(lines per row); bankShift/bankMask decode the
+     * bank. Valid when shiftDecode is true (the Table 5 geometry —
+     * 32-line rows x 8 banks — always qualifies).
+     */
+    unsigned rowShift = 0;
+    unsigned bankShift = 0;
+    std::uint64_t bankMask = 0;
+    bool shiftDecode = false;
     Cycle busNextFree = 0;
     std::array<Bank, 32> bankState;
     unsigned bankCount;

@@ -64,6 +64,25 @@ class PopetPredictor : public OffChipPredictor
 
     /** Rolling hash of the last four load PCs (feature 5). */
     std::uint64_t lastPcsHash = 0;
+
+    /**
+     * One-deep feature-index memo: every demand load runs
+     * predict(pc, addr) then train(pc, addr, outcome) on the same
+     * access, so predict pre-computes the indices train will need
+     * (with the PC-history feature already advanced past this
+     * load), saving half of the feature hashing on the access path.
+     */
+    std::uint64_t memoPc = 0;
+    Addr memoAddr = 0;
+    bool memoValid = false;
+    std::array<std::uint16_t, kFeatures> memoIdx{};
+    /**
+     * Weight sum over the first four (pc, addr)-pure features,
+     * captured at predict() time. No weight changes between a
+     * load's predict and its train, so train only re-reads the
+     * history feature's weight.
+     */
+    int memoPartialSum = 0;
 };
 
 } // namespace athena

@@ -16,8 +16,8 @@ namespace athena
 {
 
 void
-BertiPrefetcher::observe(const PrefetchTrigger &trigger,
-                         std::vector<PrefetchCandidate> &out)
+BertiPrefetcher::observeImpl(const PrefetchTrigger &trigger,
+                         CandidateVec &out)
 {
     Addr line = lineNumber(trigger.addr);
     std::uint64_t idx = mix64(trigger.pc) % kEntries;

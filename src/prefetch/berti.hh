@@ -25,16 +25,16 @@
 namespace athena
 {
 
-class BertiPrefetcher : public Prefetcher
+class BertiPrefetcher final : public Prefetcher
 {
   public:
-    BertiPrefetcher() : Prefetcher(4) { reset(); }
+    BertiPrefetcher() : Prefetcher(4, PrefetcherKind::kBerti) { reset(); }
 
     const char *name() const override { return "berti"; }
     CacheLevel level() const override { return CacheLevel::kL1D; }
 
-    void observe(const PrefetchTrigger &trigger,
-                 std::vector<PrefetchCandidate> &out) override;
+    void observeImpl(const PrefetchTrigger &trigger,
+                 CandidateVec &out) override;
 
     void reset() override;
 

@@ -14,8 +14,8 @@ namespace athena
 {
 
 void
-IpcpPrefetcher::observe(const PrefetchTrigger &trigger,
-                        std::vector<PrefetchCandidate> &out)
+IpcpPrefetcher::observeImpl(const PrefetchTrigger &trigger,
+                        CandidateVec &out)
 {
     Addr line = lineNumber(trigger.addr);
     Addr page = pageNumber(trigger.addr);

@@ -29,16 +29,16 @@
 namespace athena
 {
 
-class IpcpPrefetcher : public Prefetcher
+class IpcpPrefetcher final : public Prefetcher
 {
   public:
-    IpcpPrefetcher() : Prefetcher(4) { reset(); }
+    IpcpPrefetcher() : Prefetcher(4, PrefetcherKind::kIpcp) { reset(); }
 
     const char *name() const override { return "ipcp"; }
     CacheLevel level() const override { return CacheLevel::kL1D; }
 
-    void observe(const PrefetchTrigger &trigger,
-                 std::vector<PrefetchCandidate> &out) override;
+    void observeImpl(const PrefetchTrigger &trigger,
+                 CandidateVec &out) override;
 
     void reset() override;
 

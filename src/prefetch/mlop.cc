@@ -15,8 +15,8 @@ namespace athena
 {
 
 void
-MlopPrefetcher::observe(const PrefetchTrigger &trigger,
-                        std::vector<PrefetchCandidate> &out)
+MlopPrefetcher::observeImpl(const PrefetchTrigger &trigger,
+                        CandidateVec &out)
 {
     Addr page = pageNumber(trigger.addr);
     unsigned offset = pageLineOffset(trigger.addr);

@@ -25,16 +25,16 @@
 namespace athena
 {
 
-class MlopPrefetcher : public Prefetcher
+class MlopPrefetcher final : public Prefetcher
 {
   public:
-    MlopPrefetcher() : Prefetcher(4) { reset(); }
+    MlopPrefetcher() : Prefetcher(4, PrefetcherKind::kMlop) { reset(); }
 
     const char *name() const override { return "mlop"; }
     CacheLevel level() const override { return CacheLevel::kL2C; }
 
-    void observe(const PrefetchTrigger &trigger,
-                 std::vector<PrefetchCandidate> &out) override;
+    void observeImpl(const PrefetchTrigger &trigger,
+                 CandidateVec &out) override;
 
     void reset() override;
 

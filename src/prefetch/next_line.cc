@@ -11,8 +11,8 @@ namespace athena
 {
 
 void
-NextLinePrefetcher::observe(const PrefetchTrigger &trigger,
-                            std::vector<PrefetchCandidate> &out)
+NextLinePrefetcher::observeImpl(const PrefetchTrigger &trigger,
+                            CandidateVec &out)
 {
     Addr line = lineNumber(trigger.addr);
     for (unsigned d = 1; d <= degree(); ++d)

@@ -16,19 +16,19 @@
 namespace athena
 {
 
-class NextLinePrefetcher : public Prefetcher
+class NextLinePrefetcher final : public Prefetcher
 {
   public:
     explicit NextLinePrefetcher(CacheLevel lvl = CacheLevel::kL2C,
                                 unsigned max_degree = 4)
-        : Prefetcher(max_degree), lvl(lvl)
+        : Prefetcher(max_degree, PrefetcherKind::kNextLine), lvl(lvl)
     {}
 
     const char *name() const override { return "next_line"; }
     CacheLevel level() const override { return lvl; }
 
-    void observe(const PrefetchTrigger &trigger,
-                 std::vector<PrefetchCandidate> &out) override;
+    void observeImpl(const PrefetchTrigger &trigger,
+                 CandidateVec &out) override;
 
     void reset() override {}
     std::size_t storageBits() const override { return 0; }

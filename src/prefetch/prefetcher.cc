@@ -20,6 +20,52 @@
 namespace athena
 {
 
+void
+Prefetcher::observe(const PrefetchTrigger &trigger, CandidateVec &out)
+{
+    // Tag dispatch to the concrete kernel. The qualified calls are
+    // direct (no vtable load, no indirect branch) and LTO inlines
+    // the small kernels straight into Simulator::triggerLevel.
+    switch (kindTag) {
+      case PrefetcherKind::kNextLine:
+        static_cast<NextLinePrefetcher &>(*this)
+            .NextLinePrefetcher::observeImpl(trigger, out);
+        return;
+      case PrefetcherKind::kStride:
+        static_cast<StridePrefetcher &>(*this)
+            .StridePrefetcher::observeImpl(trigger, out);
+        return;
+      case PrefetcherKind::kIpcp:
+        static_cast<IpcpPrefetcher &>(*this)
+            .IpcpPrefetcher::observeImpl(trigger, out);
+        return;
+      case PrefetcherKind::kBerti:
+        static_cast<BertiPrefetcher &>(*this)
+            .BertiPrefetcher::observeImpl(trigger, out);
+        return;
+      case PrefetcherKind::kPythia:
+        static_cast<PythiaPrefetcher &>(*this)
+            .PythiaPrefetcher::observeImpl(trigger, out);
+        return;
+      case PrefetcherKind::kSppPpf:
+        static_cast<SppPpfPrefetcher &>(*this)
+            .SppPpfPrefetcher::observeImpl(trigger, out);
+        return;
+      case PrefetcherKind::kMlop:
+        static_cast<MlopPrefetcher &>(*this)
+            .MlopPrefetcher::observeImpl(trigger, out);
+        return;
+      case PrefetcherKind::kSms:
+        static_cast<SmsPrefetcher &>(*this)
+            .SmsPrefetcher::observeImpl(trigger, out);
+        return;
+      case PrefetcherKind::kNone:
+        break;
+    }
+    // Unknown tag (external subclass): virtual fallback.
+    observeImpl(trigger, out);
+}
+
 const char *
 prefetcherKindName(PrefetcherKind kind)
 {

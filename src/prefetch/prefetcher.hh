@@ -25,11 +25,71 @@
 namespace athena
 {
 
-/** One prefetch candidate emitted by a prefetcher. */
+/**
+ * One prefetch candidate emitted by a prefetcher. Deliberately
+ * trivial (no default member initializers): CandidateVec keeps an
+ * uninitialized array of these on the access path's stack, and
+ * zero-filling it per trigger would cost more than the dispatch it
+ * optimizes.
+ */
 struct PrefetchCandidate
 {
-    Addr lineNum = 0;      ///< Target cache-line number.
-    std::uint64_t meta = 0; ///< Credit token echoed in feedback.
+    Addr lineNum;      ///< Target cache-line number.
+    std::uint64_t meta; ///< Credit token echoed in feedback.
+};
+
+/**
+ * Fixed-capacity inline candidate buffer used on the per-access hot
+ * path. A hardware prefetcher emits at most degree() candidates per
+ * trigger (degree <= 8 across every implemented design), so the
+ * buffer lives on the stack of the access path instead of a heap
+ * vector. Appends past capacity are dropped — which models a full
+ * prefetch queue and keeps the type total.
+ */
+class CandidateVec
+{
+  public:
+    static constexpr unsigned kCapacity = 32;
+
+    void clear() { count = 0; }
+
+    void
+    push_back(const PrefetchCandidate &c)
+    {
+        if (count < kCapacity)
+            buf[count++] = c;
+    }
+
+    unsigned size() const { return count; }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == kCapacity; }
+
+    const PrefetchCandidate &operator[](unsigned i) const
+    {
+        return buf[i];
+    }
+
+    const PrefetchCandidate *begin() const { return buf; }
+    const PrefetchCandidate *end() const { return buf + count; }
+
+  private:
+    PrefetchCandidate buf[kCapacity];
+    unsigned count = 0;
+};
+
+/** Known prefetcher kinds, for factory construction and for the
+ *  devirtualized observe() dispatch tag. */
+enum class PrefetcherKind : std::uint8_t
+{
+    kNone,
+    kNextLine,
+    kStride,
+    kIpcp,
+    kBerti,
+    kPythia,
+    kSppPpf,
+    kMlop,
+    kSms,
 };
 
 /** Context of the demand access that triggers training/prediction. */
@@ -47,9 +107,15 @@ struct PrefetchTrigger
 class Prefetcher
 {
   public:
-    /** @param max_degree prefetches per trigger at full throttle. */
-    explicit Prefetcher(unsigned max_degree)
-        : maxDeg(max_degree), currentDegree(max_degree)
+    /**
+     * @param max_degree prefetches per trigger at full throttle.
+     * @param kind       dispatch tag for the devirtualized observe()
+     *                   front door; kNone routes through the virtual
+     *                   observeImpl() (external subclasses).
+     */
+    explicit Prefetcher(unsigned max_degree,
+                        PrefetcherKind kind = PrefetcherKind::kNone)
+        : maxDeg(max_degree), currentDegree(max_degree), kindTag(kind)
     {}
     virtual ~Prefetcher() = default;
 
@@ -60,9 +126,36 @@ class Prefetcher
 
     /**
      * Observe a demand access; append up to degree() candidates.
+     *
+     * Non-virtual front door: dispatches on the construction-time
+     * kind tag to the concrete observeImpl() with a direct
+     * (devirtualized, LTO-inlinable) call. This is the hottest call
+     * in the whole simulator — it runs once per prefetcher slot per
+     * demand access.
      */
-    virtual void observe(const PrefetchTrigger &trigger,
-                         std::vector<PrefetchCandidate> &out) = 0;
+    void observe(const PrefetchTrigger &trigger, CandidateVec &out);
+
+    /** Convenience overload for tests and offline tools: appends
+     *  this trigger's candidates to a growable vector. */
+    void
+    observe(const PrefetchTrigger &trigger,
+            std::vector<PrefetchCandidate> &out)
+    {
+        CandidateVec vec;
+        observe(trigger, vec);
+        out.insert(out.end(), vec.begin(), vec.end());
+    }
+
+    /**
+     * Prediction kernel: append up to degree() candidates for this
+     * trigger. Public so the tag-dispatched front door can reach the
+     * concrete implementation; call observe() instead.
+     */
+    virtual void observeImpl(const PrefetchTrigger &trigger,
+                             CandidateVec &out) = 0;
+
+    /** Dispatch tag (kNone for external subclasses). */
+    PrefetcherKind kind() const { return kindTag; }
 
     /** A demand touched a line this prefetcher brought in. */
     virtual void
@@ -116,20 +209,7 @@ class Prefetcher
   private:
     unsigned maxDeg;
     unsigned currentDegree;
-};
-
-/** Known prefetcher kinds, for factory construction. */
-enum class PrefetcherKind : std::uint8_t
-{
-    kNone,
-    kNextLine,
-    kStride,
-    kIpcp,
-    kBerti,
-    kPythia,
-    kSppPpf,
-    kMlop,
-    kSms,
+    PrefetcherKind kindTag;
 };
 
 /** Printable name for a kind. */

@@ -33,7 +33,7 @@ pythiaTraceEnabled()
 } // namespace
 
 PythiaPrefetcher::PythiaPrefetcher(std::uint64_t seed)
-    : Prefetcher(4), rng(seed)
+    : Prefetcher(4, PrefetcherKind::kPythia), rng(seed)
 {
     reset();
 }
@@ -67,10 +67,11 @@ PythiaPrefetcher::update(const EqEntry &entry, std::uint64_t nf1,
 void
 PythiaPrefetcher::drainOldest()
 {
-    if (eq.empty())
+    if (eqCount == 0)
         return;
-    EqEntry oldest = eq.front();
-    eq.pop_front();
+    EqEntry oldest = eqAt(0);
+    eqHead = (eqHead + 1) & (kEqCapacity - 1);
+    --eqCount;
     ++eqBase;
     // Untested decisions (gated / filtered / resident) carry no
     // learning signal — repeatedly grading them would erase the
@@ -83,8 +84,8 @@ PythiaPrefetcher::drainOldest()
         oldest.reward = highBandwidth ? kRewardInaccurateHigh
                                       : kRewardInaccurateLow;
     }
-    if (!eq.empty()) {
-        const EqEntry &next = eq.front();
+    if (eqCount != 0) {
+        const EqEntry &next = eqAt(0);
         update(oldest, next.f1, next.f2, next.action);
     } else {
         update(oldest, oldest.f1, oldest.f2, oldest.action);
@@ -92,8 +93,8 @@ PythiaPrefetcher::drainOldest()
 }
 
 void
-PythiaPrefetcher::observe(const PrefetchTrigger &trigger,
-                          std::vector<PrefetchCandidate> &out)
+PythiaPrefetcher::observeImpl(const PrefetchTrigger &trigger,
+                          CandidateVec &out)
 {
     Addr line = lineNumber(trigger.addr);
     auto delta = static_cast<int>(
@@ -115,14 +116,17 @@ PythiaPrefetcher::observe(const PrefetchTrigger &trigger,
                 deltaHistory.end());
     deltaHistory.back() = delta;
 
-    // Epsilon-greedy action selection.
+    // Epsilon-greedy action selection. The two plane rows are
+    // resolved once for the whole argmax scan.
     unsigned action = 0;
     if (rng.chance(kEpsilon)) {
         action = static_cast<unsigned>(rng.below(kActions));
     } else {
-        double best = q(f1, f2, 0);
+        const auto &row1 = plane1[f1 % kRows];
+        const auto &row2 = plane2[f2 % kRows];
+        double best = row1[0] + row2[0];
         for (unsigned a = 1; a < kActions; ++a) {
-            double v = q(f1, f2, a);
+            double v = row1[a] + row2[a];
             if (v > best) {
                 best = v;
                 action = a;
@@ -151,18 +155,20 @@ PythiaPrefetcher::observe(const PrefetchTrigger &trigger,
     }
 
     // Push the decision into the EQ; retire the oldest if full.
-    if (eq.size() >= kEqCapacity)
+    if (eqCount >= kEqCapacity)
         drainOldest();
-    eq.push_back({f1, f2, action, false, false, 0.0});
-    std::uint64_t meta = eqBase + eq.size() - 1;
+    EqEntry &slot = eqAt(eqCount);
+    slot = {f1, f2, action, false, false, 0.0};
+    ++eqCount;
+    std::uint64_t meta = eqBase + eqCount - 1;
 
     int offset = kOffsets[action];
     if (offset == 0) {
         // "No prefetch" receives its (bandwidth-dependent) reward
         // immediately.
-        eq.back().rewarded = true;
-        eq.back().reward = highBandwidth ? kRewardNoPrefetchHigh
-                                         : kRewardNoPrefetchLow;
+        slot.rewarded = true;
+        slot.reward = highBandwidth ? kRewardNoPrefetchHigh
+                                    : kRewardNoPrefetchLow;
         return;
     }
 
@@ -182,9 +188,9 @@ PythiaPrefetcher::onPrefetchUsed(std::uint64_t meta, bool timely)
     if (meta < eqBase)
         return;
     std::uint64_t idx = meta - eqBase;
-    if (idx >= eq.size())
+    if (idx >= eqCount)
         return;
-    EqEntry &e = eq[idx];
+    EqEntry &e = eqAt(static_cast<unsigned>(idx));
     if (!e.rewarded) {
         e.rewarded = true;
         e.reward =
@@ -198,9 +204,9 @@ PythiaPrefetcher::onPrefetchUseless(std::uint64_t meta)
     if (meta < eqBase)
         return;
     std::uint64_t idx = meta - eqBase;
-    if (idx >= eq.size())
+    if (idx >= eqCount)
         return;
-    EqEntry &e = eq[idx];
+    EqEntry &e = eqAt(static_cast<unsigned>(idx));
     if (!e.rewarded) {
         e.rewarded = true;
         e.reward = highBandwidth ? kRewardInaccurateHigh
@@ -214,9 +220,9 @@ PythiaPrefetcher::onPrefetchDropped(std::uint64_t meta)
     if (meta < eqBase)
         return;
     std::uint64_t idx = meta - eqBase;
-    if (idx >= eq.size())
+    if (idx >= eqCount)
         return;
-    EqEntry &e = eq[idx];
+    EqEntry &e = eqAt(static_cast<unsigned>(idx));
     if (!e.rewarded) {
         // Never issued: the prediction was not tested against the
         // demand stream, so it carries no learning signal.
@@ -238,7 +244,8 @@ PythiaPrefetcher::reset()
         row.fill(0.0);
     for (auto &row : plane2)
         row.fill(0.0);
-    eq.clear();
+    eqHead = 0;
+    eqCount = 0;
     eqBase = 0;
     lastLine = 0;
     deltaHistory.fill(0);

@@ -23,7 +23,6 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/rng.hh"
@@ -32,7 +31,7 @@
 namespace athena
 {
 
-class PythiaPrefetcher : public Prefetcher
+class PythiaPrefetcher final : public Prefetcher
 {
   public:
     explicit PythiaPrefetcher(std::uint64_t seed = 1);
@@ -40,8 +39,8 @@ class PythiaPrefetcher : public Prefetcher
     const char *name() const override { return "pythia"; }
     CacheLevel level() const override { return CacheLevel::kL2C; }
 
-    void observe(const PrefetchTrigger &trigger,
-                 std::vector<PrefetchCandidate> &out) override;
+    void observeImpl(const PrefetchTrigger &trigger,
+                 CandidateVec &out) override;
 
     void onPrefetchUsed(std::uint64_t meta, bool timely) override;
     void onPrefetchUseless(std::uint64_t meta) override;
@@ -118,8 +117,22 @@ class PythiaPrefetcher : public Prefetcher
     std::array<std::array<double, kActions>, kRows> plane1;
     std::array<std::array<double, kActions>, kRows> plane2;
 
-    std::deque<EqEntry> eq;
-    std::uint64_t eqBase = 0; ///< meta id of eq.front().
+    /**
+     * Evaluation queue as a fixed ring (kEqCapacity is a power of
+     * two): bounded FIFO + random access by (meta - eqBase), both
+     * O(1) without deque segment bookkeeping on the observe path.
+     */
+    std::array<EqEntry, kEqCapacity> eqBuf{};
+    unsigned eqHead = 0;  ///< Ring index of the oldest entry.
+    unsigned eqCount = 0; ///< Occupancy.
+    std::uint64_t eqBase = 0; ///< meta id of the oldest entry.
+
+    /** i-th oldest EQ entry (i < eqCount, or the push slot). */
+    EqEntry &
+    eqAt(unsigned i)
+    {
+        return eqBuf[(eqHead + i) & (kEqCapacity - 1)];
+    }
 
     Addr lastLine = 0;
     std::array<int, 4> deltaHistory{};

@@ -24,8 +24,8 @@ SmsPrefetcher::commit(const AgtEntry &entry)
 }
 
 void
-SmsPrefetcher::observe(const PrefetchTrigger &trigger,
-                       std::vector<PrefetchCandidate> &out)
+SmsPrefetcher::observeImpl(const PrefetchTrigger &trigger,
+                       CandidateVec &out)
 {
     Addr region = pageNumber(trigger.addr);
     unsigned offset = pageLineOffset(trigger.addr);

@@ -24,16 +24,16 @@
 namespace athena
 {
 
-class SmsPrefetcher : public Prefetcher
+class SmsPrefetcher final : public Prefetcher
 {
   public:
-    SmsPrefetcher() : Prefetcher(8) { reset(); }
+    SmsPrefetcher() : Prefetcher(8, PrefetcherKind::kSms) { reset(); }
 
     const char *name() const override { return "sms"; }
     CacheLevel level() const override { return CacheLevel::kL2C; }
 
-    void observe(const PrefetchTrigger &trigger,
-                 std::vector<PrefetchCandidate> &out) override;
+    void observeImpl(const PrefetchTrigger &trigger,
+                 CandidateVec &out) override;
 
     void reset() override;
 

@@ -32,8 +32,8 @@ SppPpfPrefetcher::ppfTrain(const std::array<std::uint16_t, 3> &idx,
 }
 
 void
-SppPpfPrefetcher::observe(const PrefetchTrigger &trigger,
-                          std::vector<PrefetchCandidate> &out)
+SppPpfPrefetcher::observeImpl(const PrefetchTrigger &trigger,
+                          CandidateVec &out)
 {
     Addr page = pageNumber(trigger.addr);
     unsigned offset = pageLineOffset(trigger.addr);

@@ -29,16 +29,16 @@
 namespace athena
 {
 
-class SppPpfPrefetcher : public Prefetcher
+class SppPpfPrefetcher final : public Prefetcher
 {
   public:
-    SppPpfPrefetcher() : Prefetcher(6) { reset(); }
+    SppPpfPrefetcher() : Prefetcher(6, PrefetcherKind::kSppPpf) { reset(); }
 
     const char *name() const override { return "spp_ppf"; }
     CacheLevel level() const override { return CacheLevel::kL2C; }
 
-    void observe(const PrefetchTrigger &trigger,
-                 std::vector<PrefetchCandidate> &out) override;
+    void observeImpl(const PrefetchTrigger &trigger,
+                 CandidateVec &out) override;
 
     void onPrefetchUsed(std::uint64_t meta, bool timely) override;
     void onPrefetchUseless(std::uint64_t meta) override;

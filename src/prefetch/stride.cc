@@ -14,8 +14,8 @@ namespace athena
 {
 
 void
-StridePrefetcher::observe(const PrefetchTrigger &trigger,
-                          std::vector<PrefetchCandidate> &out)
+StridePrefetcher::observeImpl(const PrefetchTrigger &trigger,
+                          CandidateVec &out)
 {
     Addr line = lineNumber(trigger.addr);
     std::uint64_t idx = mix64(trigger.pc) % kEntries;

@@ -19,12 +19,12 @@
 namespace athena
 {
 
-class StridePrefetcher : public Prefetcher
+class StridePrefetcher final : public Prefetcher
 {
   public:
     explicit StridePrefetcher(CacheLevel lvl = CacheLevel::kL2C,
                               unsigned max_degree = 4)
-        : Prefetcher(max_degree), lvl(lvl)
+        : Prefetcher(max_degree, PrefetcherKind::kStride), lvl(lvl)
     {
         reset();
     }
@@ -32,8 +32,8 @@ class StridePrefetcher : public Prefetcher
     const char *name() const override { return "stride"; }
     CacheLevel level() const override { return lvl; }
 
-    void observe(const PrefetchTrigger &trigger,
-                 std::vector<PrefetchCandidate> &out) override;
+    void observeImpl(const PrefetchTrigger &trigger,
+                 CandidateVec &out) override;
 
     void reset() override;
 

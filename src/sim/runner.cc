@@ -5,16 +5,17 @@
 
 #include "sim/runner.hh"
 
-#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/stats.hh"
+#include "sim/thread_pool.hh"
 
 namespace athena
 {
@@ -42,29 +43,7 @@ bandwidthKey(double gbps)
 void
 parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
 {
-    unsigned hw = std::thread::hardware_concurrency();
-    unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(hw ? hw : 4, n));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            for (;;) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= n)
-                    return;
-                fn(i);
-            }
-        });
-    }
-    for (auto &t : pool)
-        t.join();
+    ThreadPool::instance().run(n, fn);
 }
 
 ExperimentRunner::ExperimentRunner()
@@ -90,7 +69,7 @@ ExperimentRunner::baselineIpc(const SystemConfig &config,
     auto key = std::make_pair(spec.name,
                               bandwidthKey(config.bandwidthGBps));
     {
-        std::lock_guard<std::mutex> lock(cacheMutex);
+        std::shared_lock<std::shared_mutex> lock(cacheMutex);
         auto it = baselineCache.find(key);
         if (it != baselineCache.end())
             return it->second;
@@ -98,7 +77,7 @@ ExperimentRunner::baselineIpc(const SystemConfig &config,
     SystemConfig base = config;
     base.policy = PolicyKind::kAllOff;
     double ipc = runOne(base, spec).ipc();
-    std::lock_guard<std::mutex> lock(cacheMutex);
+    std::unique_lock<std::shared_mutex> lock(cacheMutex);
     baselineCache[key] = ipc;
     return ipc;
 }
@@ -107,19 +86,32 @@ std::vector<SpeedupRow>
 ExperimentRunner::speedups(const SystemConfig &config,
                            const std::vector<WorkloadSpec> &specs)
 {
+    // Baseline and policy runs are *separate* work items (even
+    // indices baseline, odd indices policy), so a worker never
+    // serializes a workload's baseline behind its policy run:
+    // cold baselines for some workloads overlap with policy runs
+    // for others, and cached baselines cost one shared-lock lookup.
     std::vector<SpeedupRow> rows(specs.size());
-    parallelFor(specs.size(), [&](std::size_t i) {
+    std::vector<double> base(specs.size(), 0.0);
+    parallelFor(2 * specs.size(), [&](std::size_t k) {
+        const std::size_t i = k >> 1;
         const WorkloadSpec &spec = specs[i];
-        double base = baselineIpc(config, spec);
-        SimResult res = runOne(config, spec);
+        if ((k & 1) == 0) {
+            base[i] = baselineIpc(config, spec);
+            return;
+        }
         SpeedupRow row;
         row.workload = spec.name;
         row.suite = spec.suite;
-        row.baselineIpc = base;
-        row.speedup = base > 0.0 ? res.ipc() / base : 1.0;
-        row.result = std::move(res);
+        row.result = runOne(config, spec);
         rows[i] = std::move(row);
     });
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        rows[i].baselineIpc = base[i];
+        rows[i].speedup = base[i] > 0.0
+                              ? rows[i].result.ipc() / base[i]
+                              : 1.0;
+    }
     return rows;
 }
 
@@ -130,7 +122,7 @@ ExperimentRunner::adverseSet(const SystemConfig &base_config,
     auto key = std::make_pair(base_config.label,
                               bandwidthKey(base_config.bandwidthGBps));
     {
-        std::lock_guard<std::mutex> lock(cacheMutex);
+        std::shared_lock<std::shared_mutex> lock(cacheMutex);
         auto it = adverseCache.find(key);
         if (it != adverseCache.end())
             return it->second;
@@ -143,7 +135,7 @@ ExperimentRunner::adverseSet(const SystemConfig &base_config,
         if (row.speedup < 1.0)
             adverse.insert(row.workload);
     }
-    std::lock_guard<std::mutex> lock(cacheMutex);
+    std::unique_lock<std::shared_mutex> lock(cacheMutex);
     adverseCache[key] = adverse;
     return adverse;
 }

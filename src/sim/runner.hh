@@ -20,8 +20,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -54,7 +54,13 @@ struct CategorySummary
     double overall = 1.0;
 };
 
-/** Run fn(i) for i in [0, n) across hardware threads. */
+/**
+ * Run fn(i) for i in [0, n) across hardware threads.
+ *
+ * Backed by the process-wide persistent ThreadPool (see
+ * sim/thread_pool.hh): no per-call thread spawning, safe under
+ * nested and back-to-back calls.
+ */
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &fn);
 
@@ -107,7 +113,13 @@ class ExperimentRunner
                       const std::vector<WorkloadSpec> &mix_specs);
 
   private:
-    std::mutex cacheMutex;
+    /**
+     * Reader-writer lock: cache hits (the overwhelmingly common
+     * case in fleet sweeps) take a shared lock and proceed in
+     * parallel; only the insert after a cold simulation takes the
+     * exclusive side.
+     */
+    std::shared_mutex cacheMutex;
     /** (workload, bandwidth-key) -> baseline IPC. */
     std::map<std::pair<std::string, long>, double> baselineCache;
     /** (config label, bandwidth-key) -> adverse names. */

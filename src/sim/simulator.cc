@@ -18,6 +18,7 @@
 #include "athena/agent.hh"
 #include "coord/simple.hh"
 #include "coord/tlp.hh"
+#include "sim/step_picker.hh"
 
 namespace athena
 {
@@ -104,6 +105,11 @@ struct Simulator::CoreCtx
 
     CoordDecision decision; ///< Applied for the current epoch.
 
+    /** Capability flags cached off the policy at construction so
+     *  the access path skips virtual no-op hook calls. */
+    bool policyObservesDemands = false;
+    bool policyFiltersPrefetches = false;
+
     /** Per-epoch window counters (policy telemetry). */
     EpochStats window;
     std::uint64_t epochStartInstr = 0;
@@ -179,6 +185,10 @@ Simulator::Simulator(const SystemConfig &config,
         ctx->ocp = makeOcp(cfg.ocp);
         ctx->policy = makePolicy(
             cfg, static_cast<unsigned>(ctx->prefetchers.size()));
+        ctx->policyObservesDemands =
+            ctx->policy->observesDemandStream();
+        ctx->policyFiltersPrefetches =
+            ctx->policy->filtersPrefetches();
         ctx->adapter = std::make_unique<CoreMemAdapter>(*this, c);
         ctx->core = std::make_unique<CoreModel>(
             cfg.core, *ctx->workload, *ctx->adapter);
@@ -242,6 +252,13 @@ Simulator::triggerLevel(unsigned core, CacheLevel level,
     CoreCtx &cc = *coreCtxs[core];
     const auto &slots =
         cc.levelSlots[level == CacheLevel::kL1D ? 0 : 1];
+    if (slots.empty())
+        return;
+    // Candidate buffer on the stack of the access path: no heap
+    // traffic, and the tag-dispatched observe() below is a direct
+    // call (see Prefetcher::observe).
+    CandidateVec scratch;
+    const PrefetchTrigger trigger{pc, addr, hit, cycle};
     for (unsigned slot : slots) {
         Prefetcher &pf = *cc.prefetchers[slot];
         // A gated prefetcher still *trains* on the demand stream
@@ -252,7 +269,7 @@ Simulator::triggerLevel(unsigned core, CacheLevel level,
         // it would help.
         bool gated = !cc.decision.pfEnabled(slot) || pf.degree() == 0;
         scratch.clear();
-        pf.observe({pc, addr, hit, cycle}, scratch);
+        pf.observe(trigger, scratch);
         for (const PrefetchCandidate &cand : scratch) {
             if (gated)
                 pf.onPrefetchDropped(cand.meta);
@@ -271,7 +288,8 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
     Prefetcher &pf = *cc.prefetchers[slot];
     Addr line = cand.lineNum;
 
-    if (cc.policy->filterPrefetch(pf.level(), trigger_pc,
+    if (cc.policyFiltersPrefetches &&
+        cc.policy->filterPrefetch(pf.level(), trigger_pc,
                                   lineBase(line))) {
         pf.onPrefetchDropped(cand.meta);
         return;
@@ -281,11 +299,14 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
     Cycle ready;
 
     if (pf.level() == CacheLevel::kL1D) {
-        if (cc.l1.contains(line)) {
+        // One ref per level, shared by the probe/touch and the fill.
+        const CacheRef l1ref = cc.l1.ref(line);
+        const CacheRef l2ref = cc.l2.ref(line);
+        if (cc.l1.contains(l1ref)) {
             pf.onPrefetchDropped(cand.meta); // already resident
             return;
         }
-        if (cc.l2.touch(line)) {
+        if (cc.l2.touch(l2ref)) {
             ready = cycle + latL2;
         } else if (llc->touch(line)) {
             ready = cycle + latLlc;
@@ -303,11 +324,11 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
         }
         // Fill the intermediate L2 on an off-chip prefetch path.
         if (from_dram) {
-            cc.l2.fill(line, cycle, ready, true, kNoFeedbackSlot, 0,
+            cc.l2.fill(l2ref, cycle, ready, true, kNoFeedbackSlot, 0,
                        true);
         }
         CacheEviction ev =
-            cc.l1.fill(line, cycle, ready, true,
+            cc.l1.fill(l1ref, cycle, ready, true,
                        static_cast<std::uint8_t>(slot), cand.meta,
                        from_dram);
         if (ev.evictedUnusedPrefetch &&
@@ -320,11 +341,13 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
                 ev.evictedPfMeta);
         }
     } else { // kL2C
-        if (cc.l2.contains(line)) {
+        const CacheRef l2ref = cc.l2.ref(line);
+        if (cc.l2.contains(l2ref)) {
             pf.onPrefetchDropped(cand.meta);
             return;
         }
-        if (llc->touch(line)) {
+        const CacheRef llcref = llc->ref(line);
+        if (llc->touch(llcref)) {
             ready = cycle + latLlc;
         } else {
             Cycle done =
@@ -332,14 +355,14 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
                             AccessType::kPrefetch);
             ready = done;
             from_dram = true;
-            CacheEviction ev = llc->fill(line, cycle, ready, true,
+            CacheEviction ev = llc->fill(llcref, cycle, ready, true,
                                          kNoFeedbackSlot, 0, true);
             handleLlcEviction(core, ev);
             if (cc.ocp)
                 cc.ocp->onFill(line);
         }
         CacheEviction ev =
-            cc.l2.fill(line, cycle, ready, true,
+            cc.l2.fill(l2ref, cycle, ready, true,
                        static_cast<std::uint8_t>(slot), cand.meta,
                        from_dram);
         if (ev.evictedUnusedPrefetch &&
@@ -375,7 +398,11 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
     bool went_offchip = false;
     Cycle completion;
 
-    CacheLookup l1res = cc.l1.access(line, issue);
+    // Fused L1 -> L2 -> LLC demand walk: each level's coordinates
+    // are computed exactly once and feed both the lookup and any
+    // fill on the refill path.
+    const CacheRef l1ref = cc.l1.ref(line);
+    CacheLookup l1res = cc.l1.access(l1ref, issue);
     triggerLevel(core, CacheLevel::kL1D, pc, addr, l1res.hit, issue);
     l1_miss = !l1res.hit;
 
@@ -383,21 +410,23 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
         dispatchPrefetchFeedbackUsed(core, l1res, issue);
         completion = std::max(issue + latL1, l1res.readyAt);
     } else {
-        CacheLookup l2res = cc.l2.access(line, issue);
+        const CacheRef l2ref = cc.l2.ref(line);
+        CacheLookup l2res = cc.l2.access(l2ref, issue);
         triggerLevel(core, CacheLevel::kL2C, pc, addr, l2res.hit,
                      issue);
         if (l2res.hit) {
             dispatchPrefetchFeedbackUsed(core, l2res, issue);
             completion = std::max(issue + latL2, l2res.readyAt);
-            cc.l1.fill(line, issue, completion, false);
+            cc.l1.fill(l1ref, issue, completion, false);
         } else {
-            CacheLookup llcres = llc->access(line, issue);
+            const CacheRef llcref = llc->ref(line);
+            CacheLookup llcres = llc->access(llcref, issue);
             if (llcres.hit) {
                 dispatchPrefetchFeedbackUsed(core, llcres, issue);
                 completion =
                     std::max(issue + latLlc, llcres.readyAt);
-                cc.l2.fill(line, issue, completion, false);
-                cc.l1.fill(line, issue, completion, false);
+                cc.l2.fill(l2ref, issue, completion, false);
+                cc.l1.fill(l1ref, issue, completion, false);
             } else {
                 went_offchip = true;
                 if (cc.pollutionBloom.mayContain(line))
@@ -419,10 +448,10 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
                 }
 
                 CacheEviction ev =
-                    llc->fill(line, issue, completion, false);
+                    llc->fill(llcref, issue, completion, false);
                 handleLlcEviction(core, ev);
-                cc.l2.fill(line, issue, completion, false);
-                cc.l1.fill(line, issue, completion, false);
+                cc.l2.fill(l2ref, issue, completion, false);
+                cc.l1.fill(l1ref, issue, completion, false);
                 if (cc.ocp)
                     cc.ocp->onFill(line);
 
@@ -451,7 +480,8 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
     }
     if (cc.ocp && cc.decision.ocpEnable)
         cc.ocp->train(pc, addr, went_offchip);
-    cc.policy->onDemandResolved(pc, addr, went_offchip);
+    if (cc.policyObservesDemands)
+        cc.policy->onDemandResolved(pc, addr, went_offchip);
 
     maybeEndEpoch(core);
     return completion;
@@ -464,34 +494,37 @@ Simulator::doStore(unsigned core, std::uint64_t pc, Addr addr,
     CoreCtx &cc = *coreCtxs[core];
     Addr line = lineNumber(addr);
 
-    CacheLookup l1res = cc.l1.access(line, cycle);
+    const CacheRef l1ref = cc.l1.ref(line);
+    CacheLookup l1res = cc.l1.access(l1ref, cycle);
     triggerLevel(core, CacheLevel::kL1D, pc, addr, l1res.hit, cycle);
     if (l1res.hit) {
         dispatchPrefetchFeedbackUsed(core, l1res, cycle);
         return;
     }
-    CacheLookup l2res = cc.l2.access(line, cycle);
+    const CacheRef l2ref = cc.l2.ref(line);
+    CacheLookup l2res = cc.l2.access(l2ref, cycle);
     triggerLevel(core, CacheLevel::kL2C, pc, addr, l2res.hit, cycle);
     if (l2res.hit) {
         dispatchPrefetchFeedbackUsed(core, l2res, cycle);
-        cc.l1.fill(line, cycle, cycle + latL2, false);
+        cc.l1.fill(l1ref, cycle, cycle + latL2, false);
         return;
     }
-    CacheLookup llcres = llc->access(line, cycle);
+    const CacheRef llcref = llc->ref(line);
+    CacheLookup llcres = llc->access(llcref, cycle);
     if (llcres.hit) {
         dispatchPrefetchFeedbackUsed(core, llcres, cycle);
-        cc.l2.fill(line, cycle, cycle + latLlc, false);
-        cc.l1.fill(line, cycle, cycle + latLlc, false);
+        cc.l2.fill(l2ref, cycle, cycle + latLlc, false);
+        cc.l1.fill(l1ref, cycle, cycle + latLlc, false);
         return;
     }
     // Write-allocate from DRAM; off the critical path but the
     // traffic is real.
     Cycle done =
         dram->serve(cycle + latLlc, line, AccessType::kDemandStore);
-    CacheEviction ev = llc->fill(line, cycle, done, false);
+    CacheEviction ev = llc->fill(llcref, cycle, done, false);
     handleLlcEviction(core, ev);
-    cc.l2.fill(line, cycle, done, false);
-    cc.l1.fill(line, cycle, done, false);
+    cc.l2.fill(l2ref, cycle, done, false);
+    cc.l1.fill(l1ref, cycle, done, false);
     if (cc.ocp)
         cc.ocp->onFill(line);
 }
@@ -598,30 +631,33 @@ Simulator::run(std::uint64_t instructions_per_core,
 
     if (cfg.cores == 1) {
         CoreCtx &cc = *coreCtxs[0];
-        while (cc.core->retired() < total) {
+        // Warmup-boundary check hoisted out of the measured loop,
+        // preserving the post-step check semantics of the generic
+        // path (the snapshot lands after the step that crosses the
+        // warmup boundary — including warmup == 0, where it lands
+        // after the first step).
+        while (cc.core->retired() < total && !started[0]) {
             cc.core->step();
             check_warmup(0);
         }
+        while (cc.core->retired() < total)
+            cc.core->step();
     } else {
         // Step the globally least-advanced unfinished core to keep
         // the cores loosely synchronized so shared-resource
-        // contention is meaningful.
-        while (true) {
-            unsigned pick = cfg.cores;
-            Cycle best = ~Cycle(0);
-            for (unsigned c = 0; c < cfg.cores; ++c) {
-                CoreCtx &cc = *coreCtxs[c];
-                if (cc.core->retired() >= total)
-                    continue;
-                if (cc.core->now() <= best) {
-                    best = cc.core->now();
-                    pick = c;
-                }
-            }
-            if (pick == cfg.cores)
-                break;
-            coreCtxs[pick]->core->step();
+        // contention is meaningful. The picker is an indexed
+        // min-heap: O(log cores) per step instead of an O(cores)
+        // rescan, with deterministic lowest-index-first ties.
+        StepPicker picker(cfg.cores);
+        while (!picker.empty()) {
+            unsigned pick = picker.top();
+            CoreCtx &cc = *coreCtxs[pick];
+            cc.core->step();
             check_warmup(pick);
+            if (cc.core->retired() >= total)
+                picker.finish(pick);
+            else
+                picker.advance(pick, cc.core->now());
         }
     }
 
@@ -649,10 +685,7 @@ Simulator::run(std::uint64_t instructions_per_core,
         pc.pf = cc.pfStats;
         pc.ocpPredictions = cc.ocpPredictions;
         pc.ocpCorrect = cc.ocpCorrect;
-        if (auto *agent =
-                dynamic_cast<AthenaAgent *>(cc.policy.get())) {
-            pc.actionHistogram = agent->actionHistogram();
-        }
+        pc.actionHistogram = cc.policy->actionHistogram();
         result.cores.push_back(std::move(pc));
         max_now = std::max(max_now, cc.core->now());
     }

@@ -176,8 +176,6 @@ class Simulator
     // Shared resources.
     std::unique_ptr<Cache> llc;
     std::unique_ptr<Dram> dram;
-
-    std::vector<PrefetchCandidate> scratch; ///< Candidate buffer.
 };
 
 } // namespace athena

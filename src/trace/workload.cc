@@ -14,6 +14,14 @@
 namespace athena
 {
 
+namespace
+{
+
+/** Rng::chanceThreshold(0.5): a fair coin for branch noise. */
+constexpr std::uint64_t kHalfThreshold = 1ull << 52;
+
+} // namespace
+
 const char *
 suiteName(Suite suite)
 {
@@ -53,6 +61,22 @@ SyntheticWorkload::reset()
         st.chasePtr = st.base;
         st.burstLeft = p.scanBurst;
         st.regionBase = st.base;
+        st.hotMod.init(p.hotBytes);
+        st.footprintMod.init(p.footprintBytes);
+        st.chaseMod.init(p.footprintBytes >> kLineShift);
+        st.scanMod.init(p.footprintBytes / 4);
+        st.regionMod.init(p.footprintBytes >> kPageShift);
+        // Thresholds mirror the original double comparisons,
+        // including the cumulative kind-roll boundaries.
+        st.tLoad = Rng::chanceThreshold(p.loadFrac);
+        st.tLoadStore =
+            Rng::chanceThreshold(p.loadFrac + p.storeFrac);
+        st.tLSB = Rng::chanceThreshold(p.loadFrac + p.storeFrac +
+                                       p.branchFrac);
+        st.tCritical = Rng::chanceThreshold(p.criticalFrac);
+        st.tHot = Rng::chanceThreshold(p.hotFrac);
+        st.tNoise = Rng::chanceThreshold(p.branchNoise);
+        st.tBias = Rng::chanceThreshold(p.branchBias);
         if (p.pattern == Pattern::kGraph) {
             // Zipf over destination *pages* keeps the table small
             // while preserving a heavy-tailed reuse distribution.
@@ -85,8 +109,8 @@ SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
     // (stack, locals, node payloads) shared by all patterns; the
     // remaining accesses follow the pattern over the big footprint.
     if (p.pattern != Pattern::kGraph && p.hotFrac > 0.0 &&
-        rng.chance(p.hotFrac)) {
-        return st.base + (1ull << 38) + (rng.next() % p.hotBytes);
+        rng.chanceT(st.tHot)) {
+        return st.base + (1ull << 38) + st.hotMod.mod(rng.next());
     }
 
     switch (p.pattern) {
@@ -129,10 +153,10 @@ SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
             Addr a = st.chasePtr;
             st.cursor = st.cursor * 6364136223846793005ull +
                         1442695040888963407ull;
-            std::uint64_t lines = p.footprintBytes >> kLineShift;
             st.chasePtr =
                 st.base +
-                (mix64(st.cursor ^ spec.seed) % lines) * kLineBytes;
+                st.chaseMod.mod(mix64(st.cursor ^ spec.seed)) *
+                    kLineBytes;
             depends_on_prev = true;
             return a;
         }
@@ -141,7 +165,7 @@ SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
         // an address prefetcher, easy for an off-chip predictor
         // (the miss PCs are stable).
         return st.base + (1ull << 36) +
-               (rng.next() % p.footprintBytes);
+               st.footprintMod.mod(rng.next());
       case Pattern::kGraph:
         {
             if (st.burstLeft == 0) {
@@ -152,8 +176,8 @@ SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
             --st.burstLeft;
             if (st.inScan) {
                 Addr a = st.base + st.scanCursor;
-                st.scanCursor = (st.scanCursor + p.elementBytes) %
-                                (p.footprintBytes / 4);
+                st.scanCursor =
+                    st.scanMod.mod(st.scanCursor + p.elementBytes);
                 return a;
             }
             std::uint64_t page = st.zipf->sample(rng);
@@ -164,7 +188,7 @@ SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
         // Cold random tail past the shared hot-set roll; supplies
         // the >= 3 MPKI the paper's selection criterion requires.
         return st.base + (1ull << 36) +
-               (rng.next() % p.footprintBytes);
+               st.footprintMod.mod(rng.next());
       case Pattern::kRegionSpatial:
         {
             if (st.regionStep == 0) {
@@ -172,14 +196,17 @@ SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
                 // function of the region id, so SMS-style pattern
                 // history is profitable.
                 std::uint64_t region =
-                    rng.next() % (p.footprintBytes >> kPageShift);
+                    st.regionMod.mod(rng.next());
                 st.regionBase = st.base + region * kPageBytes;
                 st.regionPattern = mix64(region ^ (spec.seed << 1));
             }
             unsigned line =
                 (st.regionPattern >> ((st.regionStep * 6) % 58)) &
                 (kLinesPerPage - 1);
-            st.regionStep = (st.regionStep + 1) % p.regionLines;
+            // Conditional wrap (regionStep < regionLines invariant).
+            st.regionStep = st.regionStep + 1 == p.regionLines
+                                ? 0
+                                : st.regionStep + 1;
             return st.regionBase +
                    static_cast<Addr>(line) * kLineBytes;
         }
@@ -199,31 +226,36 @@ SyntheticWorkload::next()
     PhaseState &st = phaseStates[phaseIndex];
     TraceRecord rec;
 
-    double roll = rng.uniform();
+    // One draw for the kind roll, compared against the precomputed
+    // cumulative thresholds (bit-identical to the double compares).
+    std::uint64_t roll = rng.next() >> 11;
     std::uint64_t pc_region = (spec.seed << 20) ^ (phaseIndex << 12);
 
-    if (roll < p.loadFrac) {
+    if (roll < st.tLoad) {
         rec.kind = InstrKind::kLoad;
         rec.addr = nextDataAddr(rec.dependsOnPrevLoad);
-        rec.criticalConsumer = rng.chance(p.criticalFrac);
-        st.pcRotor = (st.pcRotor + 1) % p.loadPcs;
+        rec.criticalConsumer = rng.chanceT(st.tCritical);
+        // Conditional wrap instead of a per-load 64-bit modulo;
+        // pcRotor < loadPcs is invariant, so the result is the same.
+        st.pcRotor = st.pcRotor + 1 == p.loadPcs ? 0
+                                                 : st.pcRotor + 1;
         rec.pc = 0x400000 + pc_region + 0x10 * st.pcRotor;
-    } else if (roll < p.loadFrac + p.storeFrac) {
+    } else if (roll < st.tLoadStore) {
         rec.kind = InstrKind::kStore;
         bool dep = false;
         rec.addr = nextDataAddr(dep);
         rec.pc = 0x500000 + pc_region;
-    } else if (roll < p.loadFrac + p.storeFrac + p.branchFrac) {
+    } else if (roll < st.tLSB) {
         rec.kind = InstrKind::kBranch;
         // A small family of static branches; most follow their
         // bias, a noise fraction flips a fair coin (the gshare
         // predictor in the core turns that into real
         // mispredictions).
         rec.pc = 0x600000 + pc_region + 0x8 * (rng.next() % 16);
-        if (rng.chance(p.branchNoise))
-            rec.taken = rng.chance(0.5);
+        if (rng.chanceT(st.tNoise))
+            rec.taken = rng.chanceT(kHalfThreshold);
         else
-            rec.taken = rng.chance(p.branchBias);
+            rec.taken = rng.chanceT(st.tBias);
     } else {
         rec.kind = InstrKind::kAlu;
         rec.pc = 0x700000 + pc_region;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fast_mod.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 
@@ -186,6 +187,25 @@ class SyntheticWorkload : public WorkloadGenerator
         unsigned regionStep = 0;
         std::uint64_t regionPattern = 0; ///< Region line bitmap.
         unsigned pcRotor = 0;
+        // Precomputed reducers for the per-access RNG -> range
+        // mappings (the raw 64-bit modulo was a top-five hot-path
+        // cost); results are bit-identical to `%`.
+        FastMod hotMod;       ///< % hotBytes.
+        FastMod footprintMod; ///< % footprintBytes.
+        FastMod chaseMod;     ///< % (footprint lines), kChase.
+        FastMod scanMod;      ///< % (footprintBytes / 4), kGraph.
+        FastMod regionMod;    ///< % (footprint pages), kRegion*.
+        // Precomputed Rng::chanceThreshold values for the per-
+        // instruction Bernoulli rolls (bit-identical outcomes, no
+        // per-roll float conversion). tLoad/tLoadStore/tLSB are the
+        // cumulative kind-roll boundaries.
+        std::uint64_t tLoad = 0;
+        std::uint64_t tLoadStore = 0;
+        std::uint64_t tLSB = 0;
+        std::uint64_t tCritical = 0;
+        std::uint64_t tHot = 0;
+        std::uint64_t tNoise = 0;
+        std::uint64_t tBias = 0;
     };
 
     /** Switch to a phase (state persists across entries). */

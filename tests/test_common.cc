@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fast_mod.hh"
 #include "common/hashing.hh"
 #include "common/rng.hh"
 #include "common/sat_counter.hh"
@@ -86,6 +87,43 @@ TEST(Rng, ZeroSeedRemapped)
 {
     Rng rng(0);
     EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(FastMod, MatchesHardwareModuloExactly)
+{
+    // Moduli mirroring the workload generators: powers of two,
+    // odd sizes, footprint-style MB counts, and tiny divisors.
+    const std::uint64_t moduli[] = {
+        1,       2,          3,      24576,  32768,
+        98304,   1u << 20,   4097,   (123ull << 20),
+        (48ull << 20) - 1,   6,      999999937ull};
+    Rng rng(77);
+    for (std::uint64_t m : moduli) {
+        FastMod fm(m);
+        EXPECT_EQ(fm.divisor(), m);
+        for (int i = 0; i < 20000; ++i) {
+            std::uint64_t x = rng.next();
+            ASSERT_EQ(fm.mod(x), x % m) << "m=" << m << " x=" << x;
+        }
+        // Edges.
+        EXPECT_EQ(fm.mod(0), 0u);
+        EXPECT_EQ(fm.mod(m), 0u);
+        EXPECT_EQ(fm.mod(~0ull), ~0ull % m);
+    }
+}
+
+TEST(Rng, ChanceThresholdMatchesChanceExactly)
+{
+    // chanceT(chanceThreshold(p)) must reproduce chance(p)
+    // bit-for-bit from the same stream position for any p.
+    const double ps[] = {0.0,  1e-9, 0.005, 0.25, 0.3333333,
+                         0.5,  0.75, 0.999, 1.0};
+    for (double p : ps) {
+        Rng a(42), b(42);
+        std::uint64_t t = Rng::chanceThreshold(p);
+        for (int i = 0; i < 50000; ++i)
+            ASSERT_EQ(a.chance(p), b.chanceT(t)) << "p=" << p;
+    }
 }
 
 TEST(Zipf, SkewsTowardsHead)

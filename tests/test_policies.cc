@@ -47,6 +47,19 @@ makeStats(double pf_acc, double ocp_acc, double bw,
     return s;
 }
 
+TEST(StaticPolicies, ActionHistogramDefaultsToZeros)
+{
+    // The virtual actionHistogram() hook (which replaced the RTTI
+    // probe in Simulator::run) must report all-zeros for policies
+    // that do not select among discrete actions.
+    auto naive = makeNaivePolicy();
+    for (std::uint64_t v : naive->actionHistogram())
+        EXPECT_EQ(v, 0u);
+    TlpPolicy tlp;
+    for (std::uint64_t v : tlp.actionHistogram())
+        EXPECT_EQ(v, 0u);
+}
+
 TEST(StaticPolicies, DecisionsMatchTheirNames)
 {
     auto naive = makeNaivePolicy();

@@ -263,6 +263,60 @@ TEST_P(AnyPrefetcher, ReportsStorageAndLevel)
     EXPECT_GE(pf->maxDegree(), 1u);
 }
 
+TEST_P(AnyPrefetcher, FrontDoorMatchesVirtualKernel)
+{
+    // The devirtualized observe() front door must behave exactly
+    // like a virtual call to observeImpl(): same candidates, same
+    // internal state evolution, for every kind tag.
+    auto front = makePrefetcher(GetParam());
+    auto virt = makePrefetcher(GetParam());
+    ASSERT_NE(front, nullptr);
+    for (int i = 0; i < 400; ++i) {
+        PrefetchTrigger trig{
+            static_cast<std::uint64_t>(0x400 + (i % 7) * 8),
+            static_cast<Addr>(i) * 192, false,
+            static_cast<Cycle>(i) * 60};
+        CandidateVec a, b;
+        front->observe(trig, a);          // tag-dispatched
+        virt->observeImpl(trig, b);       // virtual
+        ASSERT_EQ(a.size(), b.size()) << "iter " << i;
+        for (unsigned k = 0; k < a.size(); ++k) {
+            EXPECT_EQ(a[k].lineNum, b[k].lineNum);
+            EXPECT_EQ(a[k].meta, b[k].meta);
+        }
+    }
+}
+
+TEST(CandidateVec, DropsAppendsPastCapacity)
+{
+    CandidateVec vec;
+    for (unsigned i = 0; i < CandidateVec::kCapacity + 10; ++i)
+        vec.push_back({i, i});
+    EXPECT_EQ(vec.size(), CandidateVec::kCapacity);
+    EXPECT_TRUE(vec.full());
+    EXPECT_EQ(vec[0].lineNum, 0u);
+    EXPECT_EQ(vec[CandidateVec::kCapacity - 1].lineNum,
+              CandidateVec::kCapacity - 1);
+    vec.clear();
+    EXPECT_TRUE(vec.empty());
+}
+
+TEST(Factory, TagsMatchKinds)
+{
+    // The dispatch tag must match the factory kind, or the front
+    // door would route one prefetcher's triggers through another's
+    // kernel.
+    for (PrefetcherKind kind :
+         {PrefetcherKind::kNextLine, PrefetcherKind::kStride,
+          PrefetcherKind::kIpcp, PrefetcherKind::kBerti,
+          PrefetcherKind::kPythia, PrefetcherKind::kSppPpf,
+          PrefetcherKind::kMlop, PrefetcherKind::kSms}) {
+        auto pf = makePrefetcher(kind);
+        ASSERT_NE(pf, nullptr);
+        EXPECT_EQ(pf->kind(), kind) << prefetcherKindName(kind);
+    }
+}
+
 TEST(Factory, HonorsRequestedLevelForFlexibleKinds)
 {
     // Regression: the L1D slot of a SystemConfig must produce an

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "athena/qvstore.hh"
+#include "common/rng.hh"
 
 namespace athena
 {
@@ -159,6 +160,66 @@ TEST(QVStore, StorageMatchesTable4)
     QVStore qv; // default 8 x 64 x 4 x 8 bits
     EXPECT_EQ(qv.storageBits(), 8u * 64 * 4 * 8);
     EXPECT_EQ(qv.storageBits() / 8 / 1024, 2u); // 2 KB
+}
+
+TEST(QVStore, RowMemoizationIsBitEquivalentToPerCallHashing)
+{
+    // The memoized row-index path must be indistinguishable from
+    // re-hashing every plane on every call: drive two stores — one
+    // with the memo, one without — through an identical random
+    // sequence of updates and queries and demand exact double
+    // equality throughout.
+    QVStoreParams with = floatParams();
+    with.memoizeRows = true;
+    QVStoreParams without = with;
+    without.memoizeRows = false;
+    QVStore a(with), b(without);
+
+    Rng rng(2024);
+    for (int i = 0; i < 4000; ++i) {
+        auto s = static_cast<std::uint32_t>(rng.next() & 0xfff);
+        auto s2 = static_cast<std::uint32_t>(rng.next() & 0xfff);
+        unsigned act = static_cast<unsigned>(rng.below(4));
+        double r = (static_cast<double>(rng.next() % 2000) - 1000.0) /
+                   500.0;
+        a.update(s, act, r, s2, (act + 1) % 4);
+        b.update(s, act, r, s2, (act + 1) % 4);
+        ASSERT_EQ(a.q(s, act), b.q(s, act)) << "iter " << i;
+        ASSERT_EQ(a.argmax(s2), b.argmax(s2)) << "iter " << i;
+        ASSERT_EQ(a.meanOfOthers(s, act), b.meanOfOthers(s, act))
+            << "iter " << i;
+        ASSERT_EQ(a.qSeparation(s2, act), b.qSeparation(s2, act))
+            << "iter " << i;
+    }
+}
+
+TEST(QVStore, MemoHandlesOutOfRangeStates)
+{
+    // States above the packed state space (possible in tests and
+    // ad-hoc callers) take the scratch path; results must match the
+    // memo-disabled reference exactly.
+    QVStoreParams with = floatParams();
+    QVStoreParams without = with;
+    without.memoizeRows = false;
+    QVStore a(with), b(without);
+    const std::uint32_t big = 0xdeadbeef; // >> 12-bit state space
+    a.update(big, 1, 0.7, big, 1);
+    b.update(big, 1, 0.7, big, 1);
+    EXPECT_EQ(a.q(big, 1), b.q(big, 1));
+    EXPECT_EQ(a.argmax(big), b.argmax(big));
+}
+
+TEST(QVStore, QSeparationMatchesQMinusMeanOfOthers)
+{
+    QVStore qv(floatParams());
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        auto s = static_cast<std::uint32_t>(rng.next() & 0xfff);
+        unsigned act = static_cast<unsigned>(rng.below(4));
+        qv.update(s, act, 0.3, s, act);
+        EXPECT_EQ(qv.qSeparation(s, act),
+                  qv.q(s, act) - qv.meanOfOthers(s, act));
+    }
 }
 
 } // namespace

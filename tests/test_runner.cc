@@ -11,10 +11,14 @@
 #include <cstddef>
 #include <cstdlib>
 #include <gtest/gtest.h>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/runner.hh"
+#include "sim/thread_pool.hh"
 
 namespace athena
 {
@@ -218,6 +222,77 @@ TEST(ParallelFor, HandlesEmptyAndSingle)
     int count = 0;
     parallelFor(1, [&](std::size_t) { ++count; });
     EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, PoolIsPersistentAcrossCalls)
+{
+    // parallelFor is backed by a lazily-created persistent pool:
+    // back-to-back calls must reuse the same worker threads rather
+    // than spawning fresh ones per call.
+    ThreadPool &pool = ThreadPool::instance();
+    unsigned workers_before = pool.workerCount();
+
+    std::mutex mtx;
+    std::set<std::thread::id> seen;
+    for (int round = 0; round < 8; ++round) {
+        parallelFor(64, [&](std::size_t) {
+            std::lock_guard<std::mutex> lock(mtx);
+            seen.insert(std::this_thread::get_id());
+        });
+    }
+    // Every executing thread across all rounds is either a pool
+    // worker or the caller.
+    EXPECT_LE(seen.size(), static_cast<std::size_t>(
+                               pool.workerCount() + 1));
+    EXPECT_EQ(pool.workerCount(), workers_before)
+        << "repeated calls must not grow the pool";
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    // A parallelFor issued from inside a pool worker must complete
+    // (it runs serially inline on that worker) and still cover
+    // every index exactly once.
+    const std::size_t outer = 6, inner = 17;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    parallelFor(outer, [&](std::size_t i) {
+        parallelFor(inner, [&](std::size_t j) {
+            ++hits[i * inner + j];
+        });
+    });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SequentialCallsSeeAllPriorWrites)
+{
+    // The completion handshake must publish worker writes to the
+    // caller before run() returns.
+    std::vector<int> data(1000, 0);
+    parallelFor(data.size(), [&](std::size_t i) {
+        data[i] = static_cast<int>(i) + 1;
+    });
+    long long sum = 0;
+    for (int v : data)
+        sum += v;
+    EXPECT_EQ(sum, 1000LL * 1001 / 2);
+}
+
+TEST_F(RunnerTest, ConcurrentWarmBaselineReadsAreSharedLockFast)
+{
+    // After one cold miss fills the cache, a storm of concurrent
+    // readers (shared_lock path) must all observe the same value.
+    ExperimentRunner runner;
+    auto workloads = evalWorkloads();
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    double expect = runner.baselineIpc(cfg, workloads[0]);
+    std::vector<double> got(128, 0.0);
+    parallelFor(got.size(), [&](std::size_t i) {
+        got[i] = runner.baselineIpc(cfg, workloads[0]);
+    });
+    for (double v : got)
+        EXPECT_DOUBLE_EQ(v, expect);
 }
 
 TEST(ParallelFor, ManyMoreIndicesThanThreads)
