@@ -233,6 +233,58 @@ BM_WorkloadNext(benchmark::State &state)
 BENCHMARK(BM_WorkloadNext);
 
 void
+BM_WorkloadNextBatch(benchmark::State &state)
+{
+    // The batched pull the SoA stepping pipeline runs on: 256
+    // records per call through the per-pattern emit kernels
+    // (compare against 256x BM_WorkloadNext).
+    auto workloads = athena::evalWorkloads();
+    athena::SyntheticWorkload w(workloads.front());
+    std::vector<athena::TraceRecord> buf(256);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(w.nextBatch(buf.data(), buf.size()));
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_WorkloadNextBatch);
+
+void
+BM_CoreStepBatch(benchmark::State &state)
+{
+    // The core-side half of the batched pipeline: stepN over a
+    // synthetic stream against a fixed-latency memory, isolating
+    // dispatch/retire/ROB/MSHR bookkeeping from the cache model.
+    class FixedMemory : public athena::MemoryInterface
+    {
+      public:
+        athena::Cycle
+        load(std::uint64_t, athena::Addr, athena::Cycle issue,
+             bool &l1_miss) override
+        {
+            l1_miss = true;
+            return issue + 40;
+        }
+        void store(std::uint64_t, athena::Addr,
+                   athena::Cycle) override
+        {}
+    };
+    auto workloads = athena::evalWorkloads();
+    athena::SyntheticWorkload w(workloads.front());
+    FixedMemory mem;
+    athena::CoreModel core(athena::CoreParams{}, w, mem);
+    const std::uint64_t chunk = 4096;
+    for (auto _ : state) {
+        core.stepN(chunk);
+        benchmark::DoNotOptimize(core.now());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+BENCHMARK(BM_CoreStepBatch);
+
+void
 BM_SimulatorInstruction(benchmark::State &state)
 {
     // End-to-end per-instruction cost of the whole engine: core

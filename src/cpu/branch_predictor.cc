@@ -1,42 +1,35 @@
 /**
  * @file
- * gshare implementation.
+ * gshare implementation (cold paths; the per-branch hot path is
+ * header-inline).
  */
 
 #include "cpu/branch_predictor.hh"
 
+#include <algorithm>
 #include <cstdint>
-
-#include "common/hashing.hh"
 
 namespace athena
 {
 
-BranchPredictor::BranchPredictor(unsigned table_bits)
-    : tableBits(table_bits),
-      table(1ull << table_bits, SatCounter<2>())
-{}
-
-bool
-BranchPredictor::predictAndTrain(std::uint64_t pc, bool taken)
+namespace
 {
-    std::uint64_t mask = (1ull << tableBits) - 1;
-    std::uint64_t idx = (mix64(pc) ^ history) & mask;
-    bool prediction = table[idx].taken();
-    table[idx].update(taken);
-    history = ((history << 1) | (taken ? 1 : 0)) & mask;
-    ++statLookups;
-    if (prediction != taken)
-        ++statMispredicts;
-    return prediction == taken;
-}
+
+/** Weakly taken: SatCounter<2>'s historical reset value. */
+constexpr std::uint8_t kWeaklyTaken = 2;
+
+} // namespace
+
+BranchPredictor::BranchPredictor(unsigned table_bits)
+    : mask((1ull << table_bits) - 1),
+      table(1ull << table_bits, kWeaklyTaken)
+{}
 
 void
 BranchPredictor::reset()
 {
     history = 0;
-    for (auto &c : table)
-        c = SatCounter<2>();
+    std::fill(table.begin(), table.end(), kWeaklyTaken);
     statLookups = statMispredicts = 0;
 }
 

@@ -7,6 +7,12 @@
  * property for Athena's reward framework — the misprediction *rate
  * varies with workload phase*, which is exactly the uncorrelated
  * signal the composite reward subtracts out.
+ *
+ * The PHT is a contiguous byte array (one 2-bit counter per byte,
+ * half the footprint of the previous 16-bit SatCounter layout) and
+ * predictAndTrain() is header-inline: it sits on the per-branch
+ * path of CoreModel's batched stepping loop, where a cross-TU call
+ * per branch is measurable.
  */
 
 #ifndef ATHENA_CPU_BRANCH_PREDICTOR_HH
@@ -15,7 +21,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/sat_counter.hh"
+#include "common/hashing.hh"
 
 namespace athena
 {
@@ -29,8 +35,30 @@ class BranchPredictor
     /**
      * Predict and immediately train on the actual outcome.
      * @return true if the prediction was correct.
+     *
+     * Each entry is a 2-bit saturating counter in [0, 3], weakly
+     * taken (2) at reset; taken() is the upper half, exactly the
+     * SatCounter<2> semantics this byte encoding replaces.
      */
-    bool predictAndTrain(std::uint64_t pc, bool taken);
+    bool
+    predictAndTrain(std::uint64_t pc, bool taken)
+    {
+        std::uint64_t idx = (mix64(pc) ^ history) & mask;
+        std::uint8_t v = table[idx];
+        bool prediction = v >= 2;
+        if (taken) {
+            if (v < 3)
+                table[idx] = v + 1;
+        } else {
+            if (v > 0)
+                table[idx] = v - 1;
+        }
+        history = ((history << 1) | (taken ? 1 : 0)) & mask;
+        ++statLookups;
+        if (prediction != taken)
+            ++statMispredicts;
+        return prediction == taken;
+    }
 
     void reset();
 
@@ -38,9 +66,9 @@ class BranchPredictor
     std::uint64_t statMispredicts = 0;
 
   private:
-    unsigned tableBits;
+    std::uint64_t mask;
     std::uint64_t history = 0;
-    std::vector<SatCounter<2>> table;
+    std::vector<std::uint8_t> table;
 };
 
 } // namespace athena

@@ -1,11 +1,23 @@
 /**
  * @file
  * Core timing model implementation.
+ *
+ * The per-instruction kernel runs against a HotState of plain
+ * locals (dispatch/retire/ring/MSHR cursors, counters, frontier)
+ * rather than members: the memory-hierarchy callback is an opaque
+ * virtual call, so member state would be reloaded and spilled
+ * around every load and store the trace executes. The externally
+ * observable pieces — the counters and the completion frontier,
+ * which the simulator's epoch logic reads *during* the memory
+ * callback — are published to the members immediately before each
+ * MemoryInterface call, which is exactly when the one-at-a-time
+ * model's updates were last visible.
  */
 
 #include "cpu/core_model.hh"
 
 #include <algorithm>
+#include <cassert>
 
 namespace athena
 {
@@ -14,52 +26,131 @@ CoreModel::CoreModel(const CoreParams &params, WorkloadGenerator &wl,
                      MemoryInterface &mem)
     : cfg(params), workload(wl), memory(mem)
 {
-    rob.resize(cfg.robSize ? cfg.robSize : 1, 0);
-    outstandingMisses.reserve(cfg.l1Mshrs + 1);
+    // Zero-entry windows are meaningless (the full-window retire
+    // and the MSHR-full stall would both underflow empty arrays);
+    // clamp both to their 1-entry minimum.
+    if (cfg.robSize == 0)
+        cfg.robSize = 1;
+    if (cfg.l1Mshrs == 0)
+        cfg.l1Mshrs = 1;
+    arena.assign(cfg.robSize + cfg.l1Mshrs + 1, 0);
+    robArr = arena.data();
+    mshrArr = arena.data() + cfg.robSize;
+    batchBuf.resize(kBatchCapacity);
 }
 
-Cycle
-CoreModel::retireHead()
+void
+CoreModel::refillBatch()
 {
-    Cycle completion = robPopFront();
-    Cycle t = std::max(completion, lastRetireCycle);
-    if (t == lastRetireCycle) {
-        if (retireSlots >= cfg.width) {
-            ++t;
-            retireSlots = 1;
-        } else {
-            ++retireSlots;
-        }
-    } else {
-        retireSlots = 1;
+    batchPos = 0;
+    batchLen = static_cast<unsigned>(
+        workload.nextBatch(batchBuf.data(), kBatchCapacity));
+    if (batchLen == 0) {
+        // Defensive: a generator that returns an empty batch (none
+        // of ours do — streams are infinite) still serves one
+        // record at a time through next().
+        batchBuf[0] = workload.next();
+        batchLen = 1;
     }
-    lastRetireCycle = t;
-    return t;
 }
 
-Cycle
-CoreModel::step()
+/**
+ * The register-resident slice of the core state. Loaded from the
+ * members before a batch span, stored back after; the kernel
+ * mutates only this and the SoA arrays, publishing the observable
+ * slice to the members at MemoryInterface call boundaries.
+ */
+struct CoreModel::HotState
+{
+    Cycle dispatchCycle;
+    unsigned dispatchSlots;
+    unsigned robHead;
+    unsigned robCount;
+    Cycle lastRetireCycle;
+    unsigned retireSlots;
+    unsigned mshrCount;
+    Cycle prevLoadComplete;
+    Cycle frontier;
+    CoreCounters stats;
+};
+
+CoreModel::HotState
+CoreModel::loadHot() const
+{
+    return {dispatchCycle, dispatchSlots, robHead,
+            robCount,      lastRetireCycle, retireSlots,
+            mshrCount,     prevLoadComplete, frontier, stats};
+}
+
+void
+CoreModel::storeHot(const HotState &h)
+{
+    dispatchCycle = h.dispatchCycle;
+    dispatchSlots = h.dispatchSlots;
+    robHead = h.robHead;
+    robCount = h.robCount;
+    lastRetireCycle = h.lastRetireCycle;
+    retireSlots = h.retireSlots;
+    mshrCount = h.mshrCount;
+    prevLoadComplete = h.prevLoadComplete;
+    frontier = h.frontier;
+    stats = h.stats;
+}
+
+/**
+ * Publish the externally observable slice (counters + frontier)
+ * before a MemoryInterface call: the simulator's epoch logic reads
+ * retired(), counters() and now() from *inside* doLoad/doStore, at
+ * which point they must be exactly what the one-at-a-time model
+ * would show. Store-only — the hot loop never reloads them.
+ */
+void
+CoreModel::publishObservable(const HotState &h)
+{
+    stats = h.stats;
+    frontier = h.frontier;
+}
+
+inline Cycle
+CoreModel::execute(const TraceRecord &rec, HotState &h)
 {
     // ROB occupancy: dispatching a new instruction requires the
-    // oldest one to have retired once the window is full.
-    if (robCount >= cfg.robSize) {
-        Cycle freed = retireHead();
-        if (freed > dispatchCycle) {
-            dispatchCycle = freed;
-            dispatchSlots = 0;
+    // oldest one to have retired once the window is full. At most
+    // one head retires per dispatched instruction, so occupancy
+    // never exceeds robSize (asserted below).
+    if (h.robCount >= cfg.robSize) {
+        // Retire the ROB head under the commit-width constraint.
+        Cycle completion = robArr[h.robHead];
+        h.robHead =
+            h.robHead + 1 == cfg.robSize ? 0 : h.robHead + 1;
+        --h.robCount;
+        Cycle freed = std::max(completion, h.lastRetireCycle);
+        if (freed == h.lastRetireCycle) {
+            if (h.retireSlots >= cfg.width) {
+                ++freed;
+                h.retireSlots = 1;
+            } else {
+                ++h.retireSlots;
+            }
+        } else {
+            h.retireSlots = 1;
+        }
+        h.lastRetireCycle = freed;
+        if (freed > h.dispatchCycle) {
+            h.dispatchCycle = freed;
+            h.dispatchSlots = 0;
         }
     }
 
     // Dispatch-width constraint.
-    if (dispatchSlots >= cfg.width) {
-        ++dispatchCycle;
-        dispatchSlots = 0;
+    if (h.dispatchSlots >= cfg.width) {
+        ++h.dispatchCycle;
+        h.dispatchSlots = 0;
     }
-    ++dispatchSlots;
-    Cycle disp = dispatchCycle;
+    ++h.dispatchSlots;
+    Cycle disp = h.dispatchCycle;
 
-    TraceRecord rec = workload.next();
-    ++stats.instructions;
+    ++h.stats.instructions;
 
     Cycle completion = disp + cfg.aluLatency;
     switch (rec.kind) {
@@ -67,76 +158,114 @@ CoreModel::step()
         break;
       case InstrKind::kBranch:
         {
-            ++stats.branches;
+            ++h.stats.branches;
             bool correct =
                 branchPredictor.predictAndTrain(rec.pc, rec.taken);
             if (!correct) {
-                ++stats.branchMispredicts;
+                ++h.stats.branchMispredicts;
                 // Redirect: no further dispatch until the branch
                 // resolves plus the refill penalty.
                 Cycle resume = completion + cfg.mispredictPenalty;
-                if (resume > dispatchCycle) {
-                    dispatchCycle = resume;
-                    dispatchSlots = 0;
+                if (resume > h.dispatchCycle) {
+                    h.dispatchCycle = resume;
+                    h.dispatchSlots = 0;
                 }
             }
             break;
         }
       case InstrKind::kStore:
         {
-            ++stats.stores;
+            ++h.stats.stores;
+            publishObservable(h);
             memory.store(rec.pc, rec.addr, disp);
             break;
         }
       case InstrKind::kLoad:
         {
-            ++stats.loads;
+            ++h.stats.loads;
+            publishObservable(h);
             Cycle issue = disp;
             if (rec.dependsOnPrevLoad)
-                issue = std::max(issue, prevLoadComplete);
+                issue = std::max(issue, h.prevLoadComplete);
 
             // MSHR occupancy: drain completed misses, then stall
             // issue until a slot frees (the earliest completion)
             // if still full.
-            for (std::size_t k = 0; k < outstandingMisses.size();) {
-                if (outstandingMisses[k] <= issue) {
-                    outstandingMisses[k] = outstandingMisses.back();
-                    outstandingMisses.pop_back();
-                } else {
+            for (unsigned k = 0; k < h.mshrCount;) {
+                if (mshrArr[k] <= issue)
+                    mshrArr[k] = mshrArr[--h.mshrCount];
+                else
                     ++k;
-                }
             }
-            if (outstandingMisses.size() >= cfg.l1Mshrs) {
-                std::size_t m = 0;
-                for (std::size_t k = 1;
-                     k < outstandingMisses.size(); ++k) {
-                    if (outstandingMisses[k] < outstandingMisses[m])
+            if (h.mshrCount >= cfg.l1Mshrs) {
+                unsigned m = 0;
+                for (unsigned k = 1; k < h.mshrCount; ++k) {
+                    if (mshrArr[k] < mshrArr[m])
                         m = k;
                 }
-                issue = outstandingMisses[m];
-                outstandingMisses[m] = outstandingMisses.back();
-                outstandingMisses.pop_back();
+                issue = mshrArr[m];
+                mshrArr[m] = mshrArr[--h.mshrCount];
             }
 
             bool l1_miss = false;
             completion = memory.load(rec.pc, rec.addr, issue, l1_miss);
             if (l1_miss)
-                outstandingMisses.push_back(completion);
-            prevLoadComplete = completion;
+                mshrArr[h.mshrCount++] = completion;
+            h.prevLoadComplete = completion;
             // A near-term consumer gates the front end on this
             // load's value: dependent work cannot dispatch until
             // the data arrives.
-            if (rec.criticalConsumer && completion > dispatchCycle) {
-                dispatchCycle = completion;
-                dispatchSlots = 0;
+            if (rec.criticalConsumer && completion > h.dispatchCycle) {
+                h.dispatchCycle = completion;
+                h.dispatchSlots = 0;
             }
             break;
         }
     }
 
-    robPushBack(completion);
-    frontier = std::max(frontier, completion);
+    // Append to the ROB ring (capacity guaranteed by the retire
+    // above).
+    unsigned tail = h.robHead + h.robCount;
+    if (tail >= cfg.robSize)
+        tail -= cfg.robSize;
+    robArr[tail] = completion;
+    ++h.robCount;
+    assert(h.robCount <= cfg.robSize);
+    if (completion > h.frontier)
+        h.frontier = completion;
     return completion;
+}
+
+Cycle
+CoreModel::step()
+{
+    if (batchPos == batchLen)
+        refillBatch();
+    HotState h = loadHot();
+    Cycle completion = execute(batchBuf[batchPos++], h);
+    storeHot(h);
+    return completion;
+}
+
+void
+CoreModel::stepN(std::uint64_t n)
+{
+    HotState h = loadHot();
+    while (n > 0) {
+        if (batchPos == batchLen)
+            refillBatch();
+        unsigned span = batchLen - batchPos;
+        std::uint64_t take = n < span ? n : span;
+        const TraceRecord *rec = batchBuf.data() + batchPos;
+        // batchPos is committed before the span runs: the records
+        // are already buffered, and the kernel never re-enters the
+        // workload generator.
+        batchPos += static_cast<unsigned>(take);
+        n -= take;
+        for (std::uint64_t i = 0; i < take; ++i)
+            execute(rec[i], h);
+    }
+    storeHot(h);
 }
 
 void
@@ -150,9 +279,11 @@ CoreModel::reset()
     robCount = 0;
     lastRetireCycle = 0;
     retireSlots = 0;
-    outstandingMisses.clear();
+    mshrCount = 0;
     prevLoadComplete = 0;
     frontier = 0;
+    batchPos = 0;
+    batchLen = 0;
     stats = CoreCounters{};
 }
 

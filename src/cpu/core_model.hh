@@ -13,6 +13,15 @@
  * completion cycle per instruction; commit is modelled through the
  * ROB-occupancy constraint (instruction i cannot dispatch before
  * instruction i - ROB_SIZE has retired).
+ *
+ * Stepping is batched: records are pulled from the workload
+ * generator a few hundred at a time (WorkloadGenerator::nextBatch)
+ * into a contiguous buffer, and the ROB ring and MSHR slots live in
+ * one contiguous arena, so the per-instruction loop touches three
+ * flat arrays instead of bouncing between objects. step() executes
+ * one instruction from the buffer (the multi-core interleaving
+ * path); stepN() drains whole buffer spans in a tight loop (the
+ * single-core path). Both orderings are bit-identical.
  */
 
 #ifndef ATHENA_CPU_CORE_MODEL_HH
@@ -79,8 +88,9 @@ struct CoreCounters
 };
 
 /**
- * The core model. Pull one instruction at a time from the workload
- * generator via step().
+ * The core model. Instructions come from the workload generator in
+ * batches; execute them one at a time via step() or in bulk via
+ * stepN().
  */
 class CoreModel
 {
@@ -88,8 +98,20 @@ class CoreModel
     CoreModel(const CoreParams &params, WorkloadGenerator &workload,
               MemoryInterface &memory);
 
+    // Not copyable: robArr/mshrArr point into the member arena, so
+    // a copy's cursors would alias the source's allocation.
+    CoreModel(const CoreModel &) = delete;
+    CoreModel &operator=(const CoreModel &) = delete;
+
     /** Execute one instruction; returns its completion cycle. */
     Cycle step();
+
+    /**
+     * Execute @p n instructions in buffer-sized spans. Identical
+     * semantics to calling step() @p n times, without the
+     * per-instruction call and refill checks.
+     */
+    void stepN(std::uint64_t n);
 
     /** Committed-frontier time: max completion cycle seen so far. */
     Cycle now() const { return frontier; }
@@ -98,6 +120,9 @@ class CoreModel
 
     /** Retired instruction count. */
     std::uint64_t retired() const { return stats.instructions; }
+
+    /** Current ROB occupancy (invariant: <= params().robSize). */
+    unsigned robOccupancy() const { return robCount; }
 
     /** IPC over the whole run so far. */
     double ipc() const
@@ -111,8 +136,29 @@ class CoreModel
     void reset();
 
   private:
-    /** Retire the ROB head and return the dispatch-unblock cycle. */
-    Cycle retireHead();
+    /** Workload records pulled per nextBatch() refill (~8 KB). */
+    static constexpr unsigned kBatchCapacity = 256;
+
+    /**
+     * The register-resident slice of the core state (dispatch,
+     * retire, ring and MSHR cursors), loaded before a batch span
+     * and stored back after so the kernel is not forced to spill
+     * members around every opaque MemoryInterface call.
+     */
+    struct HotState;
+
+    HotState loadHot() const;
+    void storeHot(const HotState &h);
+
+    /** Publish counters + frontier before a MemoryInterface call
+     *  (the epoch logic reads them from inside doLoad/doStore). */
+    void publishObservable(const HotState &h);
+
+    /** Execute one trace record (the per-instruction kernel). */
+    Cycle execute(const TraceRecord &rec, HotState &h);
+
+    /** Pull the next record batch from the workload generator. */
+    void refillBatch();
 
     CoreParams cfg;
     WorkloadGenerator &workload;
@@ -123,40 +169,26 @@ class CoreModel
     unsigned dispatchSlots = 0;
 
     /**
+     * SoA arena backing the two per-instruction cycle arrays:
+     *   [0, robSize)                    ROB ring
+     *   [robSize, robSize + mshrs + 1)  MSHR completion slots
+     * One allocation, one cache-friendly span, no per-structure
+     * vector headers on the hot path.
+     */
+    std::vector<Cycle> arena;
+    Cycle *robArr = nullptr;  ///< Ring of completion cycles.
+    Cycle *mshrArr = nullptr; ///< Unsorted outstanding-miss slots.
+
+    /**
      * ROB: completion cycles in program order, as a fixed-capacity
      * ring (capacity robSize; occupancy never exceeds it because
-     * step() retires the head before dispatching into a full
-     * window). A deque here cost segment bookkeeping on every
-     * instruction of every simulation.
+     * execute() retires the head before dispatching into a full
+     * window).
      */
-    std::vector<Cycle> rob;
     unsigned robHead = 0;  ///< Index of the oldest entry.
     unsigned robCount = 0; ///< Current occupancy.
     Cycle lastRetireCycle = 0;
     unsigned retireSlots = 0;
-
-    /** Pop the oldest ROB entry. */
-    Cycle
-    robPopFront()
-    {
-        Cycle v = rob[robHead];
-        robHead = robHead + 1 == rob.size()
-                      ? 0
-                      : robHead + 1;
-        --robCount;
-        return v;
-    }
-
-    /** Append to the ROB (capacity guaranteed by the caller). */
-    void
-    robPushBack(Cycle v)
-    {
-        std::size_t tail = robHead + robCount;
-        if (tail >= rob.size())
-            tail -= rob.size();
-        rob[tail] = v;
-        ++robCount;
-    }
 
     /**
      * Outstanding L1-miss completions (MSHR occupancy). A small
@@ -166,10 +198,15 @@ class CoreModel
      * maintenance on the per-load path, with identical semantics
      * (the structure is a multiset; removal order is unobservable).
      */
-    std::vector<Cycle> outstandingMisses;
+    unsigned mshrCount = 0;
 
     Cycle prevLoadComplete = 0;
     Cycle frontier = 0;
+
+    /** Prefetched workload records (refilled via nextBatch). */
+    std::vector<TraceRecord> batchBuf;
+    unsigned batchPos = 0;
+    unsigned batchLen = 0;
 
     CoreCounters stats;
 };

@@ -105,6 +105,33 @@ class Cache
         return access(ref(line_num), now);
     }
 
+    /**
+     * Inline fast path of access() for the dominant case: the
+     * MRU-way prediction hits and the line carries no prefetch
+     * provenance. Performs exactly the state updates access() would
+     * (hit counter, LRU stamp, readyAt refresh) and returns true
+     * with the pre-refresh readyAt; returns false with NO state
+     * changed when the case is anything else — the caller then runs
+     * the full access() and gets an identical outcome.
+     */
+    bool
+    accessHitFast(const CacheRef &r, Cycle now, Cycle &ready)
+    {
+        const std::size_t idx =
+            r.base + mruWay[setIndex(r.line)];
+        if (tagv[idx] != r.key)
+            return false;
+        Line &line = lines[idx];
+        if (line.prefetched)
+            return false;
+        ++statHits;
+        lru[idx] = ++lruClock;
+        ready = line.readyAt;
+        if (now > line.readyAt)
+            line.readyAt = now;
+        return true;
+    }
+
     /** Probe without disturbing replacement or prefetch state. */
     bool
     contains(const CacheRef &r) const

@@ -22,6 +22,8 @@ Dram::Dram(const DramParams &params) : cfg(params)
     lineCycles = static_cast<double>(kLineBytes) / cfg.bandwidthGBps *
                  cfg.coreGHz;
     tCycles = static_cast<Cycle>(std::llround(cfg.tNs * cfg.coreGHz));
+    tCcdCycles =
+        static_cast<Cycle>(std::llround(cfg.tCcdNs * cfg.coreGHz));
     lineOccupancy = static_cast<Cycle>(std::llround(lineCycles));
     const std::uint64_t lines_per_row = cfg.rowBytes / kLineBytes;
     if (std::has_single_bit(lines_per_row) &&
@@ -65,10 +67,9 @@ Dram::serve(Cycle arrival, Addr line_num, AccessType type)
     // is what makes scattered (inaccurate-prefetch) traffic consume
     // far more bank time than sequential traffic, the asymmetry the
     // paper's bandwidth-constrained results rest on.
-    constexpr Cycle kTccd = 4;
     if (b.openRow == row) {
         column_ready = bank_free;
-        b.busyUntil = column_ready + kTccd;
+        b.busyUntil = column_ready + tCcdCycles;
         ++window.rowHits;
         ++total.rowHits;
     } else {

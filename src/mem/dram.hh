@@ -36,6 +36,14 @@ struct DramParams
     std::uint64_t rowBytes = 2048;
     /** tRCD = tRP = tCAS in nanoseconds. */
     double tNs = 12.5;
+    /**
+     * tCCD (column-to-column delay within an open row) in
+     * nanoseconds. 1.0 ns is 4 cycles at the default 4 GHz core
+     * clock, preserving the historical default-geometry timing
+     * exactly; deriving it from time instead of a hardcoded cycle
+     * count keeps row-hit spacing correct at every coreGHz.
+     */
+    double tCcdNs = 1.0;
 };
 
 /** Per-epoch-resettable DRAM counters. */
@@ -109,6 +117,7 @@ class Dram
     DramParams cfg;
     double lineCycles;  ///< Bus occupancy per line.
     Cycle tCycles;      ///< tRCD = tRP = tCAS in cycles.
+    Cycle tCcdCycles;   ///< tCCD in cycles (from tCcdNs x coreGHz).
     /** lineCycles rounded once at construction (serve hot path). */
     Cycle lineOccupancy = 0;
     /**

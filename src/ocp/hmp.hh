@@ -22,10 +22,10 @@
 namespace athena
 {
 
-class HmpPredictor : public OffChipPredictor
+class HmpPredictor final : public OffChipPredictor
 {
   public:
-    HmpPredictor() { reset(); }
+    HmpPredictor() : OffChipPredictor(OcpKind::kHmp) { reset(); }
 
     const char *name() const override { return "hmp"; }
 

@@ -14,6 +14,48 @@
 namespace athena
 {
 
+bool
+OffChipPredictor::predictDemand(std::uint64_t pc, Addr addr)
+{
+    switch (kind()) {
+      case OcpKind::kPopet:
+        return static_cast<PopetPredictor &>(*this)
+            .PopetPredictor::predict(pc, addr);
+      case OcpKind::kHmp:
+        return static_cast<HmpPredictor &>(*this)
+            .HmpPredictor::predict(pc, addr);
+      case OcpKind::kTtp:
+        return static_cast<TtpPredictor &>(*this)
+            .TtpPredictor::predict(pc, addr);
+      case OcpKind::kNone:
+        break;
+    }
+    return predict(pc, addr);
+}
+
+void
+OffChipPredictor::trainDemand(std::uint64_t pc, Addr addr,
+                              bool went_offchip)
+{
+    switch (kind()) {
+      case OcpKind::kPopet:
+        static_cast<PopetPredictor &>(*this)
+            .PopetPredictor::train(pc, addr, went_offchip);
+        return;
+      case OcpKind::kHmp:
+        static_cast<HmpPredictor &>(*this)
+            .HmpPredictor::train(pc, addr, went_offchip);
+        return;
+      case OcpKind::kTtp:
+        static_cast<TtpPredictor &>(*this)
+            .TtpPredictor::train(pc, addr, went_offchip);
+        return;
+      case OcpKind::kNone:
+        break;
+    }
+    train(pc, addr, went_offchip);
+}
+
 const char *
 ocpKindName(OcpKind kind)
 {

@@ -25,9 +25,24 @@
 namespace athena
 {
 
+/** Known OCP kinds, for factory construction and tag dispatch. */
+enum class OcpKind : std::uint8_t
+{
+    kNone,
+    kPopet,
+    kHmp,
+    kTtp,
+};
+
 class OffChipPredictor
 {
   public:
+    /** @param kind dispatch tag for the devirtualized predict/train
+     *  front doors; kNone routes through the virtuals (external
+     *  subclasses). */
+    explicit OffChipPredictor(OcpKind kind = OcpKind::kNone)
+        : kindTag(kind)
+    {}
     virtual ~OffChipPredictor() = default;
 
     virtual const char *name() const = 0;
@@ -39,6 +54,19 @@ class OffChipPredictor
     virtual void train(std::uint64_t pc, Addr addr,
                        bool went_offchip) = 0;
 
+    /**
+     * Non-virtual front doors over predict()/train(): both run once
+     * per demand load, so the access path dispatches on the
+     * construction-time kind tag to the concrete implementation
+     * with a direct (LTO-inlinable) call, exactly like
+     * Prefetcher::observe.
+     */
+    bool predictDemand(std::uint64_t pc, Addr addr);
+    void trainDemand(std::uint64_t pc, Addr addr, bool went_offchip);
+
+    /** Dispatch tag (kNone for external subclasses). */
+    OcpKind kind() const { return kindTag; }
+
     /** A line became resident on-chip (any level). */
     virtual void onFill(Addr line_num) { (void)line_num; }
 
@@ -49,15 +77,9 @@ class OffChipPredictor
 
     /** Metadata budget in bits (Table 8 accounting). */
     virtual std::size_t storageBits() const = 0;
-};
 
-/** Known OCP kinds, for factory construction. */
-enum class OcpKind : std::uint8_t
-{
-    kNone,
-    kPopet,
-    kHmp,
-    kTtp,
+  private:
+    OcpKind kindTag;
 };
 
 const char *ocpKindName(OcpKind kind);

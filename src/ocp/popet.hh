@@ -25,10 +25,10 @@
 namespace athena
 {
 
-class PopetPredictor : public OffChipPredictor
+class PopetPredictor final : public OffChipPredictor
 {
   public:
-    PopetPredictor() { reset(); }
+    PopetPredictor() : OffChipPredictor(OcpKind::kPopet) { reset(); }
 
     const char *name() const override { return "popet"; }
 
@@ -56,6 +56,25 @@ class PopetPredictor : public OffChipPredictor
     /** Compute the five feature table indices for (pc, addr). */
     std::array<std::uint16_t, kFeatures>
     featureIndices(std::uint64_t pc, Addr addr) const;
+
+    /**
+     * Memos of the (pure) pc- and page-derived hash work inside
+     * featureIndices. Demand streams rotate through a handful of
+     * load PCs and dwell on a page for many accesses, so both hit
+     * nearly always; results are bit-identical to recomputing.
+     * mutable: featureIndices is logically const.
+     */
+    struct PcMemoEntry
+    {
+        std::uint64_t pc = 0;
+        bool valid = false;
+        std::uint16_t pcIdx = 0;     ///< mix64(pc) % kTableSize.
+        std::uint64_t pcTerm = 0;    ///< hashCombine's pc-only term.
+    };
+    static constexpr unsigned kPcMemoSize = 16; // power of two
+    mutable std::array<PcMemoEntry, kPcMemoSize> pcMemo{};
+    mutable Addr memoPage = ~0ull;
+    mutable std::uint16_t memoPageIdx = 0;
 
     int sum(const std::array<std::uint16_t, kFeatures> &idx) const;
 

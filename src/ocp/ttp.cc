@@ -14,7 +14,7 @@ namespace athena
 {
 
 TtpPredictor::TtpPredictor(std::size_t entry_count)
-    : entries(entry_count)
+    : OffChipPredictor(OcpKind::kTtp), entries(entry_count)
 {}
 
 std::size_t

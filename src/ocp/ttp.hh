@@ -23,7 +23,7 @@
 namespace athena
 {
 
-class TtpPredictor : public OffChipPredictor
+class TtpPredictor final : public OffChipPredictor
 {
   public:
     /** @param entry_count shadow tag capacity (default covers a

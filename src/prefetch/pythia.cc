@@ -103,23 +103,35 @@ PythiaPrefetcher::observeImpl(const PrefetchTrigger &trigger,
                                  -64, 64));
     lastLine = line;
 
-    // Feature 1: PC xor last delta. Feature 2: delta sequence.
+    // Feature 1: PC xor last delta. Feature 2: delta sequence —
+    // a pure fold over the history, served from the packed-key memo
+    // when this delta pattern has been seen before.
     std::uint64_t f1 =
         hashCombine(trigger.pc, static_cast<std::uint64_t>(
                                     static_cast<std::int64_t>(delta)));
-    std::uint64_t seq = 0;
-    for (int d : deltaHistory)
-        seq = hashCombine(seq, static_cast<std::uint64_t>(
-                                   static_cast<std::int64_t>(d)));
-    std::uint64_t f2 = seq;
+    std::uint64_t f2;
+    SeqMemoEntry &memo = seqMemo[histKey & (kSeqMemoSize - 1)];
+    if (memo.valid && memo.key == histKey) {
+        f2 = memo.seq;
+    } else {
+        std::uint64_t seq = 0;
+        for (int d : deltaHistory)
+            seq = hashCombine(seq, static_cast<std::uint64_t>(
+                                       static_cast<std::int64_t>(d)));
+        f2 = seq;
+        memo = {histKey, true, seq};
+    }
     std::rotate(deltaHistory.begin(), deltaHistory.begin() + 1,
                 deltaHistory.end());
     deltaHistory.back() = delta;
+    histKey = (histKey << 8) |
+              (static_cast<std::uint32_t>(delta) & 0xffu);
 
-    // Epsilon-greedy action selection. The two plane rows are
-    // resolved once for the whole argmax scan.
+    // Epsilon-greedy action selection (precomputed integer
+    // threshold: bit-identical outcomes to chance(kEpsilon)). The
+    // two plane rows are resolved once for the whole argmax scan.
     unsigned action = 0;
-    if (rng.chance(kEpsilon)) {
+    if (rng.chanceT(epsilonThreshold)) {
         action = static_cast<unsigned>(rng.below(kActions));
     } else {
         const auto &row1 = plane1[f1 % kRows];
@@ -250,6 +262,8 @@ PythiaPrefetcher::reset()
     lastLine = 0;
     deltaHistory.fill(0);
     highBandwidth = false;
+    seqMemo.fill(SeqMemoEntry{});
+    histKey = 0;
 }
 
 } // namespace athena

@@ -138,6 +138,33 @@ class PythiaPrefetcher final : public Prefetcher
     std::array<int, 4> deltaHistory{};
     bool highBandwidth = false;
     Rng rng;
+
+    /**
+     * Rng::chanceThreshold(kEpsilon), captured at construction so
+     * the per-trigger roll pays neither a float conversion nor a
+     * magic-static guard (and no static-init-order hazard).
+     * Bit-identical outcomes to chance(kEpsilon).
+     */
+    std::uint64_t epsilonThreshold = Rng::chanceThreshold(kEpsilon);
+
+    /**
+     * Memo of the delta-sequence feature hash (f2), a pure fold
+     * over the four history deltas. Deltas are clamped to [-64, 64],
+     * so the whole history packs into one 32-bit key (4 signed
+     * bytes) maintained incrementally; a small direct-mapped table
+     * keyed by it skips the four-hash fold whenever the recent
+     * delta pattern repeats — which is almost always on striding
+     * workloads. Pure memoization: results are bit-identical.
+     */
+    struct SeqMemoEntry
+    {
+        std::uint32_t key = 0;
+        bool valid = false;
+        std::uint64_t seq = 0;
+    };
+    static constexpr unsigned kSeqMemoSize = 256; // power of two
+    std::array<SeqMemoEntry, kSeqMemoSize> seqMemo{};
+    std::uint32_t histKey = 0; ///< Packed deltaHistory (newest low).
 };
 
 } // namespace athena

@@ -393,74 +393,91 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
     // Off-chip prediction happens as soon as the address is known.
     bool ocp_pred = false;
     if (cc.ocp && cc.decision.ocpEnable)
-        ocp_pred = cc.ocp->predict(pc, addr);
+        ocp_pred = cc.ocp->predictDemand(pc, addr);
 
     bool went_offchip = false;
     Cycle completion;
 
     // Fused L1 -> L2 -> LLC demand walk: each level's coordinates
     // are computed exactly once and feed both the lookup and any
-    // fill on the refill path.
+    // fill on the refill path. The dominant outcome — an MRU-way L1
+    // hit on a plain demand line — resolves through the inline fast
+    // probe without the full lookup (identical state updates).
     const CacheRef l1ref = cc.l1.ref(line);
-    CacheLookup l1res = cc.l1.access(l1ref, issue);
-    triggerLevel(core, CacheLevel::kL1D, pc, addr, l1res.hit, issue);
-    l1_miss = !l1res.hit;
-
-    if (l1res.hit) {
-        dispatchPrefetchFeedbackUsed(core, l1res, issue);
-        completion = std::max(issue + latL1, l1res.readyAt);
+    Cycle fast_ready;
+    if (cc.l1.accessHitFast(l1ref, issue, fast_ready)) {
+        if (!cc.levelSlots[0].empty()) {
+            triggerLevel(core, CacheLevel::kL1D, pc, addr, true,
+                         issue);
+        }
+        l1_miss = false;
+        completion = std::max(issue + latL1, fast_ready);
+        // Falls through to the shared demand-resolution tail below
+        // (OCP accounting/training, policy hook, epoch check) with
+        // went_offchip == false.
     } else {
-        const CacheRef l2ref = cc.l2.ref(line);
-        CacheLookup l2res = cc.l2.access(l2ref, issue);
-        triggerLevel(core, CacheLevel::kL2C, pc, addr, l2res.hit,
+        CacheLookup l1res = cc.l1.access(l1ref, issue);
+        triggerLevel(core, CacheLevel::kL1D, pc, addr, l1res.hit,
                      issue);
-        if (l2res.hit) {
-            dispatchPrefetchFeedbackUsed(core, l2res, issue);
-            completion = std::max(issue + latL2, l2res.readyAt);
-            cc.l1.fill(l1ref, issue, completion, false);
+        l1_miss = !l1res.hit;
+        if (l1res.hit) {
+            dispatchPrefetchFeedbackUsed(core, l1res, issue);
+            completion = std::max(issue + latL1, l1res.readyAt);
         } else {
-            const CacheRef llcref = llc->ref(line);
-            CacheLookup llcres = llc->access(llcref, issue);
-            if (llcres.hit) {
-                dispatchPrefetchFeedbackUsed(core, llcres, issue);
-                completion =
-                    std::max(issue + latLlc, llcres.readyAt);
-                cc.l2.fill(l2ref, issue, completion, false);
+            const CacheRef l2ref = cc.l2.ref(line);
+            CacheLookup l2res = cc.l2.access(l2ref, issue);
+            triggerLevel(core, CacheLevel::kL2C, pc, addr,
+                         l2res.hit, issue);
+            if (l2res.hit) {
+                dispatchPrefetchFeedbackUsed(core, l2res, issue);
+                completion = std::max(issue + latL2, l2res.readyAt);
                 cc.l1.fill(l1ref, issue, completion, false);
             } else {
-                went_offchip = true;
-                if (cc.pollutionBloom.mayContain(line))
-                    ++cc.window.pollutionMisses;
-
-                Cycle done;
-                if (ocp_pred) {
-                    // Hermes path: the speculative request reaches
-                    // the controller after the OCP request issue
-                    // latency, hiding the on-chip lookup from the
-                    // off-chip critical path.
-                    done = dram->serve(issue + cfg.ocpIssueLatency,
-                                       line, AccessType::kOcp);
-                    completion = std::max(done, issue + latL1);
+                const CacheRef llcref = llc->ref(line);
+                CacheLookup llcres = llc->access(llcref, issue);
+                if (llcres.hit) {
+                    dispatchPrefetchFeedbackUsed(core, llcres,
+                                                 issue);
+                    completion =
+                        std::max(issue + latLlc, llcres.readyAt);
+                    cc.l2.fill(l2ref, issue, completion, false);
+                    cc.l1.fill(l1ref, issue, completion, false);
                 } else {
-                    done = dram->serve(issue + latLlc, line,
-                                       AccessType::kDemandLoad);
-                    completion = done;
+                    went_offchip = true;
+                    if (cc.pollutionBloom.mayContain(line))
+                        ++cc.window.pollutionMisses;
+
+                    Cycle done;
+                    if (ocp_pred) {
+                        // Hermes path: the speculative request
+                        // reaches the controller after the OCP
+                        // request issue latency, hiding the on-chip
+                        // lookup from the off-chip critical path.
+                        done =
+                            dram->serve(issue + cfg.ocpIssueLatency,
+                                        line, AccessType::kOcp);
+                        completion = std::max(done, issue + latL1);
+                    } else {
+                        done = dram->serve(issue + latLlc, line,
+                                           AccessType::kDemandLoad);
+                        completion = done;
+                    }
+
+                    CacheEviction ev =
+                        llc->fill(llcref, issue, completion, false);
+                    handleLlcEviction(core, ev);
+                    cc.l2.fill(l2ref, issue, completion, false);
+                    cc.l1.fill(l1ref, issue, completion, false);
+                    if (cc.ocp)
+                        cc.ocp->onFill(line);
+
+                    ++cc.window.llcMisses;
+                    cc.window.llcMissLatency += completion - issue;
+                    ++cc.llcMissesTotal;
+                    cc.llcMissLatencyTotal += completion - issue;
                 }
-
-                CacheEviction ev =
-                    llc->fill(llcref, issue, completion, false);
-                handleLlcEviction(core, ev);
-                cc.l2.fill(l2ref, issue, completion, false);
-                cc.l1.fill(l1ref, issue, completion, false);
-                if (cc.ocp)
-                    cc.ocp->onFill(line);
-
-                ++cc.window.llcMisses;
-                cc.window.llcMissLatency += completion - issue;
-                ++cc.llcMissesTotal;
-                cc.llcMissLatencyTotal += completion - issue;
+                ++cc.window.llcDemandAccesses;
             }
-            ++cc.window.llcDemandAccesses;
         }
     }
 
@@ -479,7 +496,7 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
         }
     }
     if (cc.ocp && cc.decision.ocpEnable)
-        cc.ocp->train(pc, addr, went_offchip);
+        cc.ocp->trainDemand(pc, addr, went_offchip);
     if (cc.policyObservesDemands)
         cc.policy->onDemandResolved(pc, addr, went_offchip);
 
@@ -495,6 +512,14 @@ Simulator::doStore(unsigned core, std::uint64_t pc, Addr addr,
     Addr line = lineNumber(addr);
 
     const CacheRef l1ref = cc.l1.ref(line);
+    Cycle fast_ready;
+    if (cc.l1.accessHitFast(l1ref, cycle, fast_ready)) {
+        if (!cc.levelSlots[0].empty()) {
+            triggerLevel(core, CacheLevel::kL1D, pc, addr, true,
+                         cycle);
+        }
+        return;
+    }
     CacheLookup l1res = cc.l1.access(l1ref, cycle);
     triggerLevel(core, CacheLevel::kL1D, pc, addr, l1res.hit, cycle);
     if (l1res.hit) {
@@ -631,33 +656,46 @@ Simulator::run(std::uint64_t instructions_per_core,
 
     if (cfg.cores == 1) {
         CoreCtx &cc = *coreCtxs[0];
-        // Warmup-boundary check hoisted out of the measured loop,
-        // preserving the post-step check semantics of the generic
-        // path (the snapshot lands after the step that crosses the
-        // warmup boundary — including warmup == 0, where it lands
-        // after the first step).
-        while (cc.core->retired() < total && !started[0]) {
-            cc.core->step();
+        // Batched stepping up to the warmup boundary, then in one
+        // drain — preserving the post-step snapshot semantics of
+        // the generic path (the snapshot lands after the step that
+        // crosses the warmup boundary; for warmup == 0 it lands
+        // after the first step, hence the max with 1).
+        std::uint64_t boundary = std::min(
+            total, std::max<std::uint64_t>(warmup_per_core, 1));
+        if (cc.core->retired() < boundary) {
+            cc.core->stepN(boundary - cc.core->retired());
             check_warmup(0);
         }
-        while (cc.core->retired() < total)
-            cc.core->step();
+        if (cc.core->retired() < total)
+            cc.core->stepN(total - cc.core->retired());
     } else {
         // Step the globally least-advanced unfinished core to keep
         // the cores loosely synchronized so shared-resource
         // contention is meaningful. The picker is an indexed
         // min-heap: O(log cores) per step instead of an O(cores)
-        // rescan, with deterministic lowest-index-first ties.
+        // rescan, with deterministic lowest-index-first ties. The
+        // inner loop keeps stepping the picked core while it would
+        // be re-picked anyway (stillTop), so batch-pulled cores pay
+        // one heap sift per *burst* rather than per instruction —
+        // the stepping order is bit-identical to the
+        // one-instruction-per-pick schedule.
         StepPicker picker(cfg.cores);
         while (!picker.empty()) {
             unsigned pick = picker.top();
             CoreCtx &cc = *coreCtxs[pick];
-            cc.core->step();
-            check_warmup(pick);
-            if (cc.core->retired() >= total)
-                picker.finish(pick);
-            else
-                picker.advance(pick, cc.core->now());
+            for (;;) {
+                cc.core->step();
+                check_warmup(pick);
+                if (cc.core->retired() >= total) {
+                    picker.finish(pick);
+                    break;
+                }
+                if (!picker.stillTop(pick, cc.core->now())) {
+                    picker.advance(pick, cc.core->now());
+                    break;
+                }
+            }
         }
     }
 

@@ -63,6 +63,34 @@ class StepPicker
         siftDown(pos[idx]);
     }
 
+    /**
+     * Would the current top core @p idx still be picked next if its
+     * frontier advanced to @p now? By the heap property the minimum
+     * of the *other* cores is one of the root's two children, so
+     * this is two lexicographic compares — the batch-boundary test
+     * that lets the scheduler step the same core repeatedly without
+     * a sift per instruction. The stepping order it produces is
+     * exactly the one advance()+top() per instruction would.
+     *
+     * @pre idx is the current top() (its stored key may be stale;
+     *      only @p now is compared).
+     */
+    bool
+    stillTop(unsigned idx, Cycle now) const
+    {
+        assert(!heap.empty() && heap.front() == idx);
+        const unsigned n = static_cast<unsigned>(heap.size());
+        for (unsigned c = 1; c <= 2; ++c) {
+            if (c >= n)
+                break;
+            unsigned other = heap[c];
+            if (key[other] < now ||
+                (key[other] == now && other < idx))
+                return false;
+        }
+        return true;
+    }
+
     /** Remove a finished core from the pick set. */
     void
     finish(unsigned idx)

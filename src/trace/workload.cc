@@ -98,142 +98,160 @@ SyntheticWorkload::enterPhase(std::size_t index)
     phaseInstrsLeft = spec.phases[phaseIndex].instructions;
 }
 
-Addr
-SyntheticWorkload::nextDataAddr(bool &depends_on_prev)
+template <int P>
+inline Addr
+SyntheticWorkload::patternAddr(const PhaseParams &p, PhaseState &st,
+                               bool &depends_on_prev)
 {
-    const PhaseParams &p = spec.phases[phaseIndex];
-    PhaseState &st = phaseStates[phaseIndex];
+    static_assert(P >= 0, "use nextDataAddr for runtime dispatch");
+    constexpr Pattern kPat = static_cast<Pattern>(P);
     depends_on_prev = false;
 
     // The hot-set roll models cache-resident operand traffic
     // (stack, locals, node payloads) shared by all patterns; the
     // remaining accesses follow the pattern over the big footprint.
-    if (p.pattern != Pattern::kGraph && p.hotFrac > 0.0 &&
-        rng.chanceT(st.tHot)) {
-        return st.base + (1ull << 38) + st.hotMod.mod(rng.next());
+    if constexpr (kPat != Pattern::kGraph) {
+        if (p.hotFrac > 0.0 && rng.chanceT(st.tHot))
+            return st.base + (1ull << 38) + st.hotMod.mod(rng.next());
     }
 
-    switch (p.pattern) {
-      case Pattern::kStream:
-        {
-            Addr a = st.base + st.cursor;
-            // Wrap by conditional subtract — free of the 64-bit
-            // division a modulo would cost on every access. The
-            // rare-path modulo keeps user-supplied steps >= the
-            // footprint exact.
-            st.cursor += p.elementBytes;
-            if (st.cursor >= p.footprintBytes) {
-                st.cursor -= p.footprintBytes;
-                if (st.cursor >= p.footprintBytes)
-                    st.cursor %= p.footprintBytes;
-            }
-            return a;
+    if constexpr (kPat == Pattern::kStream) {
+        Addr a = st.base + st.cursor;
+        // Wrap by conditional subtract — free of the 64-bit
+        // division a modulo would cost on every access. The
+        // rare-path modulo keeps user-supplied steps >= the
+        // footprint exact.
+        st.cursor += p.elementBytes;
+        if (st.cursor >= p.footprintBytes) {
+            st.cursor -= p.footprintBytes;
+            if (st.cursor >= p.footprintBytes)
+                st.cursor %= p.footprintBytes;
         }
-      case Pattern::kStride:
-        {
-            Addr a = st.base + st.cursor;
-            st.cursor += p.strideBytes;
-            if (st.cursor >= p.footprintBytes) {
-                st.cursor -= p.footprintBytes;
-                if (st.cursor >= p.footprintBytes)
-                    st.cursor %= p.footprintBytes;
-            }
-            return a;
+        return a;
+    } else if constexpr (kPat == Pattern::kStride) {
+        Addr a = st.base + st.cursor;
+        st.cursor += p.strideBytes;
+        if (st.cursor >= p.footprintBytes) {
+            st.cursor -= p.footprintBytes;
+            if (st.cursor >= p.footprintBytes)
+                st.cursor %= p.footprintBytes;
         }
-      case Pattern::kChase:
-        {
-            // Walk an implicit permutation: the node index advances
-            // through a full-period LCG and is scattered over the
-            // footprint by a hash. The address sequence is
-            // unpredictable for an address prefetcher and never
-            // collapses into a short cycle (a naive
-            // "next = hash(current)" walk would close a ~sqrt(N)
-            // loop that fits in the L2). The core serializes these
-            // loads.
-            Addr a = st.chasePtr;
-            st.cursor = st.cursor * 6364136223846793005ull +
-                        1442695040888963407ull;
-            st.chasePtr =
-                st.base +
-                st.chaseMod.mod(mix64(st.cursor ^ spec.seed)) *
-                    kLineBytes;
-            depends_on_prev = true;
-            return a;
-        }
-      case Pattern::kIrregular:
+        return a;
+    } else if constexpr (kPat == Pattern::kChase) {
+        // Walk an implicit permutation: the node index advances
+        // through a full-period LCG and is scattered over the
+        // footprint by a hash. The address sequence is
+        // unpredictable for an address prefetcher and never
+        // collapses into a short cycle (a naive
+        // "next = hash(current)" walk would close a ~sqrt(N)
+        // loop that fits in the L2). The core serializes these
+        // loads.
+        Addr a = st.chasePtr;
+        st.cursor = st.cursor * 6364136223846793005ull +
+                    1442695040888963407ull;
+        st.chasePtr =
+            st.base +
+            st.chaseMod.mod(mix64(st.cursor ^ spec.seed)) *
+                kLineBytes;
+        depends_on_prev = true;
+        return a;
+    } else if constexpr (kPat == Pattern::kIrregular) {
         // Hashed cold accesses over the whole footprint: hard for
         // an address prefetcher, easy for an off-chip predictor
         // (the miss PCs are stable).
         return st.base + (1ull << 36) +
                st.footprintMod.mod(rng.next());
-      case Pattern::kGraph:
-        {
-            if (st.burstLeft == 0) {
-                st.inScan = !st.inScan;
-                st.burstLeft =
-                    st.inScan ? p.scanBurst : p.gatherBurst;
-            }
-            --st.burstLeft;
-            if (st.inScan) {
-                Addr a = st.base + st.scanCursor;
-                st.scanCursor =
-                    st.scanMod.mod(st.scanCursor + p.elementBytes);
-                return a;
-            }
-            std::uint64_t page = st.zipf->sample(rng);
-            std::uint64_t off = rng.next() % kPageBytes;
-            return st.base + (1ull << 36) + page * kPageBytes + off;
+    } else if constexpr (kPat == Pattern::kGraph) {
+        if (st.burstLeft == 0) {
+            st.inScan = !st.inScan;
+            st.burstLeft = st.inScan ? p.scanBurst : p.gatherBurst;
         }
-      case Pattern::kCompute:
+        --st.burstLeft;
+        if (st.inScan) {
+            Addr a = st.base + st.scanCursor;
+            st.scanCursor =
+                st.scanMod.mod(st.scanCursor + p.elementBytes);
+            return a;
+        }
+        std::uint64_t page = st.zipf->sample(rng);
+        std::uint64_t off = rng.next() % kPageBytes;
+        return st.base + (1ull << 36) + page * kPageBytes + off;
+    } else if constexpr (kPat == Pattern::kCompute) {
         // Cold random tail past the shared hot-set roll; supplies
         // the >= 3 MPKI the paper's selection criterion requires.
         return st.base + (1ull << 36) +
                st.footprintMod.mod(rng.next());
-      case Pattern::kRegionSpatial:
-        {
-            if (st.regionStep == 0) {
-                // Pick a fresh region; its line bitmap is a pure
-                // function of the region id, so SMS-style pattern
-                // history is profitable.
-                std::uint64_t region =
-                    st.regionMod.mod(rng.next());
-                st.regionBase = st.base + region * kPageBytes;
-                st.regionPattern = mix64(region ^ (spec.seed << 1));
-            }
-            unsigned line =
-                (st.regionPattern >> ((st.regionStep * 6) % 58)) &
-                (kLinesPerPage - 1);
-            // Conditional wrap (regionStep < regionLines invariant).
-            st.regionStep = st.regionStep + 1 == p.regionLines
-                                ? 0
-                                : st.regionStep + 1;
-            return st.regionBase +
-                   static_cast<Addr>(line) * kLineBytes;
+    } else {
+        static_assert(kPat == Pattern::kRegionSpatial);
+        if (st.regionStep == 0) {
+            // Pick a fresh region; its line bitmap is a pure
+            // function of the region id, so SMS-style pattern
+            // history is profitable.
+            std::uint64_t region = st.regionMod.mod(rng.next());
+            st.regionBase = st.base + region * kPageBytes;
+            st.regionPattern = mix64(region ^ (spec.seed << 1));
         }
+        unsigned line =
+            (st.regionPattern >> ((st.regionStep * 6) % 58)) &
+            (kLinesPerPage - 1);
+        // Conditional wrap (regionStep < regionLines invariant).
+        st.regionStep =
+            st.regionStep + 1 == p.regionLines ? 0
+                                               : st.regionStep + 1;
+        return st.regionBase + static_cast<Addr>(line) * kLineBytes;
     }
+}
+
+Addr
+SyntheticWorkload::nextDataAddr(const PhaseParams &p, PhaseState &st,
+                                bool &depends_on_prev)
+{
+    switch (p.pattern) {
+      case Pattern::kStream:
+        return patternAddr<static_cast<int>(Pattern::kStream)>(
+            p, st, depends_on_prev);
+      case Pattern::kStride:
+        return patternAddr<static_cast<int>(Pattern::kStride)>(
+            p, st, depends_on_prev);
+      case Pattern::kChase:
+        return patternAddr<static_cast<int>(Pattern::kChase)>(
+            p, st, depends_on_prev);
+      case Pattern::kIrregular:
+        return patternAddr<static_cast<int>(Pattern::kIrregular)>(
+            p, st, depends_on_prev);
+      case Pattern::kGraph:
+        return patternAddr<static_cast<int>(Pattern::kGraph)>(
+            p, st, depends_on_prev);
+      case Pattern::kCompute:
+        return patternAddr<static_cast<int>(Pattern::kCompute)>(
+            p, st, depends_on_prev);
+      case Pattern::kRegionSpatial:
+        return patternAddr<static_cast<int>(
+            Pattern::kRegionSpatial)>(p, st, depends_on_prev);
+    }
+    depends_on_prev = false;
     return st.base;
 }
 
-TraceRecord
-SyntheticWorkload::next()
+template <int P>
+inline void
+SyntheticWorkload::emitOne(const PhaseParams &p, PhaseState &st,
+                           std::uint64_t pc_region, TraceRecord &rec)
 {
-    if (phaseInstrsLeft == 0)
-        enterPhase(phaseIndex + 1);
-    --phaseInstrsLeft;
-    ++globalInstr;
-
-    const PhaseParams &p = spec.phases[phaseIndex];
-    PhaseState &st = phaseStates[phaseIndex];
-    TraceRecord rec;
-
     // One draw for the kind roll, compared against the precomputed
     // cumulative thresholds (bit-identical to the double compares).
+    // Every field is written on every path so callers can hand in
+    // an uninitialized record (the batch path fills a reused
+    // buffer).
     std::uint64_t roll = rng.next() >> 11;
-    std::uint64_t pc_region = (spec.seed << 20) ^ (phaseIndex << 12);
 
     if (roll < st.tLoad) {
         rec.kind = InstrKind::kLoad;
-        rec.addr = nextDataAddr(rec.dependsOnPrevLoad);
+        rec.taken = false;
+        if constexpr (P == kGenericPattern)
+            rec.addr = nextDataAddr(p, st, rec.dependsOnPrevLoad);
+        else
+            rec.addr = patternAddr<P>(p, st, rec.dependsOnPrevLoad);
         rec.criticalConsumer = rng.chanceT(st.tCritical);
         // Conditional wrap instead of a per-load 64-bit modulo;
         // pcRotor < loadPcs is invariant, so the result is the same.
@@ -242,11 +260,20 @@ SyntheticWorkload::next()
         rec.pc = 0x400000 + pc_region + 0x10 * st.pcRotor;
     } else if (roll < st.tLoadStore) {
         rec.kind = InstrKind::kStore;
+        rec.taken = false;
+        rec.dependsOnPrevLoad = false;
+        rec.criticalConsumer = false;
         bool dep = false;
-        rec.addr = nextDataAddr(dep);
+        if constexpr (P == kGenericPattern)
+            rec.addr = nextDataAddr(p, st, dep);
+        else
+            rec.addr = patternAddr<P>(p, st, dep);
         rec.pc = 0x500000 + pc_region;
     } else if (roll < st.tLSB) {
         rec.kind = InstrKind::kBranch;
+        rec.addr = 0;
+        rec.dependsOnPrevLoad = false;
+        rec.criticalConsumer = false;
         // A small family of static branches; most follow their
         // bias, a noise fraction flips a fair coin (the gshare
         // predictor in the core turns that into real
@@ -258,9 +285,108 @@ SyntheticWorkload::next()
             rec.taken = rng.chanceT(st.tBias);
     } else {
         rec.kind = InstrKind::kAlu;
+        rec.addr = 0;
+        rec.taken = false;
+        rec.dependsOnPrevLoad = false;
+        rec.criticalConsumer = false;
         rec.pc = 0x700000 + pc_region;
     }
+}
+
+template <int P>
+void
+SyntheticWorkload::emitRun(const PhaseParams &p, PhaseState &st,
+                           std::uint64_t pc_region, TraceRecord *out,
+                           std::size_t run)
+{
+    for (std::size_t i = 0; i < run; ++i)
+        emitOne<P>(p, st, pc_region, out[i]);
+}
+
+TraceRecord
+SyntheticWorkload::next()
+{
+    if (phaseInstrsLeft == 0)
+        enterPhase(phaseIndex + 1);
+    --phaseInstrsLeft;
+    ++globalInstr;
+
+    TraceRecord rec;
+    emitOne<kGenericPattern>(spec.phases[phaseIndex],
+                             phaseStates[phaseIndex],
+                             (spec.seed << 20) ^ (phaseIndex << 12),
+                             rec);
     return rec;
+}
+
+std::size_t
+SyntheticWorkload::nextBatch(TraceRecord *out, std::size_t n)
+{
+    // Chunk by phase boundary so the phase lookups, the pc_region
+    // computation, the per-instruction counters, and — through the
+    // per-pattern emitRun instantiations — the pattern dispatch all
+    // hoist out of the inner loop. Record-for-record identical to
+    // next().
+    std::size_t filled = 0;
+    while (filled < n) {
+        if (phaseInstrsLeft == 0)
+            enterPhase(phaseIndex + 1);
+        std::size_t run = n - filled;
+        if (phaseInstrsLeft == 0) {
+            // Degenerate zero-instruction phase: next() decrements
+            // the counter through zero, so the phase behaves as if
+            // it had 2^64 instructions — mirror that wrap exactly
+            // rather than skipping ahead (the two APIs must emit
+            // identical streams for any spec).
+            phaseInstrsLeft -= run;
+        } else {
+            if (run > phaseInstrsLeft)
+                run = static_cast<std::size_t>(phaseInstrsLeft);
+            phaseInstrsLeft -= run;
+        }
+        globalInstr += run;
+
+        const PhaseParams &p = spec.phases[phaseIndex];
+        PhaseState &st = phaseStates[phaseIndex];
+        const std::uint64_t pc_region =
+            (spec.seed << 20) ^ (phaseIndex << 12);
+        TraceRecord *dst = out + filled;
+        switch (p.pattern) {
+          case Pattern::kStream:
+            emitRun<static_cast<int>(Pattern::kStream)>(
+                p, st, pc_region, dst, run);
+            break;
+          case Pattern::kStride:
+            emitRun<static_cast<int>(Pattern::kStride)>(
+                p, st, pc_region, dst, run);
+            break;
+          case Pattern::kChase:
+            emitRun<static_cast<int>(Pattern::kChase)>(
+                p, st, pc_region, dst, run);
+            break;
+          case Pattern::kIrregular:
+            emitRun<static_cast<int>(Pattern::kIrregular)>(
+                p, st, pc_region, dst, run);
+            break;
+          case Pattern::kGraph:
+            emitRun<static_cast<int>(Pattern::kGraph)>(
+                p, st, pc_region, dst, run);
+            break;
+          case Pattern::kCompute:
+            emitRun<static_cast<int>(Pattern::kCompute)>(
+                p, st, pc_region, dst, run);
+            break;
+          case Pattern::kRegionSpatial:
+            emitRun<static_cast<int>(Pattern::kRegionSpatial)>(
+                p, st, pc_region, dst, run);
+            break;
+          default:
+            emitRun<kGenericPattern>(p, st, pc_region, dst, run);
+            break;
+        }
+        filled += run;
+    }
+    return n;
 }
 
 std::unique_ptr<WorkloadGenerator>

@@ -39,12 +39,18 @@ enum class InstrKind : std::uint8_t
     kBranch,
 };
 
-/** One instruction of a workload trace. */
+/**
+ * One instruction of a workload trace. The wide fields lead and the
+ * kind/flag bytes pack into the tail word, so a record is 24 bytes —
+ * batched generation streams these through a reused buffer, and the
+ * core's stepping loop reads them back; 3 cache lines per 8 records
+ * instead of 4.
+ */
 struct TraceRecord
 {
-    InstrKind kind = InstrKind::kAlu;
     std::uint64_t pc = 0;
     Addr addr = 0;               ///< Effective address (load/store).
+    InstrKind kind = InstrKind::kAlu;
     bool taken = false;          ///< Branch outcome.
     /**
      * True when this load consumes the value of the previous load
@@ -74,6 +80,24 @@ class WorkloadGenerator
 
     /** Produce the next instruction. Streams are infinite. */
     virtual TraceRecord next() = 0;
+
+    /**
+     * Fill out[0..n) with the next @p n instructions and return the
+     * count produced (always @p n for the infinite synthetic
+     * streams; a finite trace replayer may return less). The
+     * default is a compatibility shim over next(), so every
+     * generator batches correctly; SyntheticWorkload overrides it
+     * with a kernel that hoists the per-phase state lookups out of
+     * the per-instruction loop. Overrides must produce the exact
+     * record sequence next() would.
+     */
+    virtual std::size_t
+    nextBatch(TraceRecord *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next();
+        return n;
+    }
 };
 
 /** Memory access pattern of a workload phase. */
@@ -164,6 +188,7 @@ class SyntheticWorkload : public WorkloadGenerator
 
     void reset() override;
     TraceRecord next() override;
+    std::size_t nextBatch(TraceRecord *out, std::size_t n) override;
 
     const WorkloadSpec &workloadSpec() const { return spec; }
 
@@ -211,8 +236,40 @@ class SyntheticWorkload : public WorkloadGenerator
     /** Switch to a phase (state persists across entries). */
     void enterPhase(std::size_t index);
 
-    /** Produce the next data address for the current phase. */
-    Addr nextDataAddr(bool &depends_on_prev);
+    /**
+     * Template parameter selecting the runtime-dispatch pattern
+     * kernel — the compatibility shim next() uses; nextBatch()
+     * instead instantiates one emitRun per concrete Pattern so the
+     * per-access pattern switch hoists out of the batch loop.
+     */
+    static constexpr int kGenericPattern = -1;
+
+    /**
+     * Produce the next data address of phase (p, st) with the
+     * pattern fixed at compile time (P = static_cast<int>(Pattern)).
+     */
+    template <int P>
+    Addr patternAddr(const PhaseParams &p, PhaseState &st,
+                     bool &depends_on_prev);
+
+    /** Runtime-dispatch shim over the patternAddr kernels. */
+    Addr nextDataAddr(const PhaseParams &p, PhaseState &st,
+                      bool &depends_on_prev);
+
+    /**
+     * Emit one record of phase (p, st): the kind roll plus all
+     * record fields, the shared kernel of next() and nextBatch().
+     * The callers own the phase-boundary bookkeeping.
+     */
+    template <int P>
+    void emitOne(const PhaseParams &p, PhaseState &st,
+                 std::uint64_t pc_region, TraceRecord &rec);
+
+    /** Emit a span of records with the pattern kernel fixed. */
+    template <int P>
+    void emitRun(const PhaseParams &p, PhaseState &st,
+                 std::uint64_t pc_region, TraceRecord *out,
+                 std::size_t run);
 
     WorkloadSpec spec;
     Rng rng;

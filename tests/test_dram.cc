@@ -120,6 +120,43 @@ TEST(Dram, ResetClearsState)
     EXPECT_EQ(d.busBacklog(0), 0u);
 }
 
+/**
+ * tCCD is specified in nanoseconds (DramParams::tCcdNs) and must
+ * convert through the core clock: the regression this pins was a
+ * hardcoded 4-*cycle* constant, which silently mistimed row-hit
+ * streams at any coreGHz other than 4. Row-hit spacing on one bank
+ * (bus made non-binding by a high provisioned bandwidth) is exactly
+ * tCCD: 1 ns = 4 cycles at 4 GHz, 2 cycles at 2 GHz.
+ */
+TEST(Dram, TccdDerivesFromClock)
+{
+    auto row_hit_spacing = [](double ghz) {
+        DramParams p;
+        p.bandwidthGBps = 256.0; // 64 B line occupies ~1 cycle
+        p.coreGHz = ghz;
+        Dram d(p);
+        d.serve(0, 0, AccessType::kDemandLoad); // opens the row
+        Cycle a = d.serve(0, 1, AccessType::kDemandLoad); // row hit
+        Cycle b = d.serve(0, 2, AccessType::kDemandLoad); // row hit
+        return b - a;
+    };
+    EXPECT_EQ(row_hit_spacing(4.0), 4u);
+    EXPECT_EQ(row_hit_spacing(2.0), 2u);
+}
+
+TEST(Dram, TccdNsParameterRespected)
+{
+    // Same clock, doubled tCcdNs: row-hit spacing doubles.
+    DramParams p;
+    p.bandwidthGBps = 256.0;
+    p.tCcdNs = 2.0;
+    Dram d(p);
+    d.serve(0, 0, AccessType::kDemandLoad);
+    Cycle a = d.serve(0, 1, AccessType::kDemandLoad);
+    Cycle b = d.serve(0, 2, AccessType::kDemandLoad);
+    EXPECT_EQ(b - a, 8u); // 2 ns at 4 GHz
+}
+
 /** Property: sustained throughput never exceeds the provisioned
  *  bandwidth, at any configuration. */
 class DramBandwidth : public ::testing::TestWithParam<double>

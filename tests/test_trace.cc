@@ -54,6 +54,99 @@ TEST(Workload, DeterministicReplay)
     }
 }
 
+TEST(Workload, NextBatchMatchesNextExactly)
+{
+    // The per-pattern batch kernels must replay the pull-at-a-time
+    // stream record for record — across every pattern, with phase
+    // boundaries landing inside batches (short phases below) and
+    // ragged batch sizes.
+    const Pattern patterns[] = {
+        Pattern::kStream,    Pattern::kStride,
+        Pattern::kChase,     Pattern::kIrregular,
+        Pattern::kGraph,     Pattern::kCompute,
+        Pattern::kRegionSpatial};
+    for (Pattern pat : patterns) {
+        auto spec = simpleSpec(pat, 0.4);
+        spec.phases[0].instructions = 777; // boundary mid-batch
+        PhaseParams second = spec.phases[0];
+        second.pattern = pat == Pattern::kStream
+                             ? Pattern::kIrregular
+                             : Pattern::kStream;
+        second.instructions = 501;
+        spec.phases.push_back(second);
+
+        SyntheticWorkload a(spec), b(spec);
+        const std::size_t batch_sizes[] = {1, 3, 256, 64, 1000, 7};
+        std::vector<TraceRecord> buf(1000);
+        for (std::size_t n : batch_sizes) {
+            ASSERT_EQ(b.nextBatch(buf.data(), n), n);
+            for (std::size_t i = 0; i < n; ++i) {
+                TraceRecord ra = a.next();
+                const TraceRecord &rb = buf[i];
+                ASSERT_EQ(static_cast<int>(ra.kind),
+                          static_cast<int>(rb.kind));
+                ASSERT_EQ(ra.pc, rb.pc);
+                ASSERT_EQ(ra.addr, rb.addr);
+                ASSERT_EQ(ra.taken, rb.taken);
+                ASSERT_EQ(ra.dependsOnPrevLoad,
+                          rb.dependsOnPrevLoad);
+                ASSERT_EQ(ra.criticalConsumer, rb.criticalConsumer);
+            }
+        }
+    }
+}
+
+TEST(Workload, NextBatchMatchesNextWithZeroInstructionPhase)
+{
+    // Degenerate spec: a zero-instruction phase. next() decrements
+    // its counter through zero (the phase behaves as if it had 2^64
+    // instructions); the batch path must mirror that wrap, not skip
+    // the phase.
+    auto spec = simpleSpec(Pattern::kStream, 0.2);
+    spec.phases[0].instructions = 100;
+    PhaseParams empty = spec.phases[0];
+    empty.pattern = Pattern::kIrregular;
+    empty.instructions = 0;
+    spec.phases.push_back(empty);
+
+    SyntheticWorkload a(spec), b(spec);
+    std::vector<TraceRecord> buf(64);
+    for (int r = 0; r < 10; ++r) {
+        ASSERT_EQ(b.nextBatch(buf.data(), 64), 64u);
+        for (std::size_t i = 0; i < 64; ++i) {
+            TraceRecord ra = a.next();
+            ASSERT_EQ(static_cast<int>(ra.kind),
+                      static_cast<int>(buf[i].kind));
+            ASSERT_EQ(ra.pc, buf[i].pc);
+            ASSERT_EQ(ra.addr, buf[i].addr);
+        }
+    }
+}
+
+TEST(Workload, DefaultNextBatchShimFillsFromNext)
+{
+    // A generator that only implements next() batches through the
+    // base-class shim.
+    class Counting : public WorkloadGenerator
+    {
+      public:
+        void reset() override { n = 0; }
+        TraceRecord
+        next() override
+        {
+            TraceRecord r;
+            r.pc = ++n;
+            return r;
+        }
+        std::uint64_t n = 0;
+    };
+    Counting gen;
+    TraceRecord buf[10];
+    ASSERT_EQ(gen.nextBatch(buf, 10), 10u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(buf[i].pc, i + 1);
+}
+
 TEST(Workload, ResetRestartsStream)
 {
     auto spec = simpleSpec(Pattern::kStream);
