@@ -42,12 +42,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/simulator.hh"
 #include "sim/system_config.hh"
+#include "trace/trace_file.hh"
 #include "trace/zoo.hh"
 
 namespace
@@ -272,6 +274,39 @@ main(int argc, char **argv)
         acfg.cores = 4;
         cases.push_back({"mc4_cd1_athena_mix", acfg, mix4, 4});
     }
+    // Trace replay smoke: the checked-in sample looped infinitely,
+    // so the TraceFile decode + replay refill path sits in the
+    // guarded throughput aggregate alongside the synthetic kernels.
+    // The sample resolves via ATHENA_TRACE_SMOKE, the working
+    // directory, then the compiled-in source tree. An unresolvable
+    // sample is a hard error: silently dropping the fastest case
+    // would shrink the aggregate and trip the regression guard with
+    // a phantom regression.
+    {
+        const char *trace_env = std::getenv("ATHENA_TRACE_SMOKE");
+        std::string trace_path;
+        if (trace_env && *trace_env) {
+            trace_path = trace_env; // explicit choice: no fallback
+        } else {
+            trace_path = "tests/data/sample_mix.bin";
+            if (!std::ifstream(trace_path).good()) {
+                trace_path = std::string(ATHENA_SOURCE_DIR) +
+                             "/tests/data/sample_mix.bin";
+            }
+        }
+        if (!std::ifstream(trace_path).good()) {
+            std::cerr << "cannot resolve trace smoke sample: "
+                      << trace_path
+                      << " (set ATHENA_TRACE_SMOKE)\n";
+            return 1;
+        }
+        WorkloadSpec replay =
+            traceWorkloadSpec("sample_mix.bin", trace_path, 0);
+        add_sc("cd1_naive_trace_replay",
+               makeDesignConfig(CacheDesign::kCd1,
+                                PolicyKind::kNaive),
+               replay);
+    }
 
     // Interleaved repeats: A(all cases) B(baseline) A B ...
     std::vector<CaseResult> best(cases.size());
@@ -289,17 +324,24 @@ main(int argc, char **argv)
                 ab_baseline, instr, warmup, baseline_cases);
     }
     // A-side aggregates from per-case bests, mirroring what the
-    // baseline side gets below.
+    // baseline side gets below. Like-for-like means intersecting
+    // case *names*: a baseline binary whose matrix is smaller than
+    // today's (e.g. predates the trace-replay case) contributes —
+    // and is compared against — only the cases both sides ran.
     std::uint64_t anchor_accesses = 0, ab_sc_accesses = 0;
     double anchor_wall = 0.0, ab_sc_wall = 0.0;
+    std::set<std::string> our_sc_names;
     for (std::size_t i = 0; i < cases.size(); ++i) {
         if (cases[i].abAnchor) {
             anchor_accesses += best[i].accesses;
             anchor_wall += best[i].wallSeconds;
         }
         if (cases[i].cfg.cores == 1) {
-            ab_sc_accesses += best[i].accesses;
-            ab_sc_wall += best[i].wallSeconds;
+            our_sc_names.insert(cases[i].name);
+            if (baseline_cases.count(cases[i].name)) {
+                ab_sc_accesses += best[i].accesses;
+                ab_sc_wall += best[i].wallSeconds;
+            }
         }
     }
     double baseline_rate = 0.0;
@@ -309,6 +351,8 @@ main(int argc, char **argv)
         for (const auto &[name, c] : baseline_cases) {
             if (c.cores != 1)
                 continue; // compare single-core against single-core
+            if (baseline_new_schema && !our_sc_names.count(name))
+                continue; // intersect both directions
             acc += c.accesses;
             wall += c.wallSeconds;
         }
@@ -364,9 +408,10 @@ main(int argc, char **argv)
          << ",\n"
          << "  \"wall_seconds\": " << total_wall << ",\n";
     if (!ab_baseline.empty() && baseline_rate > 0.0) {
-        // Like-for-like: a new-schema baseline ran the same matrix
-        // (compare full single-core subtotals); an old-schema
-        // baseline's matrix was exactly today's anchor quartet.
+        // Like-for-like: a new-schema baseline compares the
+        // single-core cases both binaries ran (name intersection);
+        // an old-schema baseline's matrix was exactly today's
+        // anchor quartet.
         double ours =
             baseline_new_schema
                 ? (ab_sc_wall > 0.0

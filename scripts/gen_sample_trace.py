@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Generate the tiny sample traces checked in under tests/data/.
+
+Produces deterministic, self-contained traces in both on-disk
+formats understood by src/trace/trace_file.{hh,cc}:
+
+  sample_loop.txt  400 records, text format ("athena trace v1")
+  sample_mix.bin   512 records, packed binary format ("ATRC")
+
+The generator is a plain 64-bit LCG, so re-running this script
+always reproduces the committed files byte for byte (the unit tests
+pin record counts and spot-check records; CI never downloads
+traces). Usage:
+
+    python3 scripts/gen_sample_trace.py [outdir]   # default tests/data
+"""
+
+import os
+import struct
+import sys
+
+MASK64 = (1 << 64) - 1
+
+# Flags byte layout (must match trace_file.cc).
+KIND_ALU, KIND_LOAD, KIND_STORE, KIND_BRANCH = 0, 1, 2, 3
+FLAG_TAKEN = 1 << 2
+FLAG_DEPENDS = 1 << 3
+FLAG_CRITICAL = 1 << 4
+
+MAGIC = b"ATRC"
+VERSION = 1
+RECORD_BYTES = 17
+
+
+def lcg(state):
+    return (state * 6364136223846793005 + 1442695040888963407) & MASK64
+
+
+class Gen:
+    """Deterministic record stream: a small loop of loads/stores/
+    branches over a 1 MB footprint with a pointer-chase flavored
+    tail, so the sample exercises every record field."""
+
+    def __init__(self, seed):
+        self.state = seed & MASK64
+
+    def roll(self, mod):
+        self.state = lcg(self.state)
+        return (self.state >> 24) % mod
+
+    def records(self, count):
+        recs = []
+        base = 0x7F0000000000
+        for i in range(count):
+            r = self.roll(100)
+            if r < 40:  # load
+                addr = base + self.roll(1 << 20) // 64 * 64 + self.roll(64)
+                depends = self.roll(8) == 0
+                critical = self.roll(4) == 0
+                pc = 0x400000 + 0x10 * self.roll(4)
+                recs.append((KIND_LOAD, pc, addr, False, depends, critical))
+            elif r < 50:  # store
+                addr = base + self.roll(1 << 20) // 64 * 64
+                recs.append((KIND_STORE, 0x500000, addr, False, False, False))
+            elif r < 65:  # branch
+                pc = 0x600000 + 0x8 * self.roll(16)
+                taken = self.roll(100) < 85
+                recs.append((KIND_BRANCH, pc, 0, taken, False, False))
+            else:  # alu
+                recs.append((KIND_ALU, 0x700000, 0, False, False, False))
+        return recs
+
+
+def write_text(path, recs):
+    with open(path, "w", newline="\n") as f:
+        f.write("# athena trace v1\n")
+        for kind, pc, addr, taken, depends, critical in recs:
+            if kind == KIND_ALU:
+                f.write(f"A 0x{pc:x}\n")
+            elif kind == KIND_LOAD:
+                flags = ("d" if depends else "") + ("c" if critical else "")
+                f.write(f"L 0x{pc:x} 0x{addr:x}" +
+                        (f" {flags}" if flags else "") + "\n")
+            elif kind == KIND_STORE:
+                f.write(f"S 0x{pc:x} 0x{addr:x}\n")
+            else:
+                f.write(f"B 0x{pc:x} {'T' if taken else 'N'}\n")
+
+
+def write_binary(path, recs):
+    with open(path, "wb") as f:
+        header = MAGIC + struct.pack("<BBH", VERSION, RECORD_BYTES, 0)
+        header += struct.pack("<Q", len(recs))
+        f.write(header)
+        for kind, pc, addr, taken, depends, critical in recs:
+            flags = kind
+            if taken:
+                flags |= FLAG_TAKEN
+            if depends:
+                flags |= FLAG_DEPENDS
+            if critical:
+                flags |= FLAG_CRITICAL
+            f.write(struct.pack("<QQB", pc, addr, flags))
+
+
+def main():
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "tests/data"
+    os.makedirs(outdir, exist_ok=True)
+
+    text_recs = Gen(seed=0xA7EA).records(400)
+    bin_recs = Gen(seed=0x7ACE).records(512)
+
+    text_path = os.path.join(outdir, "sample_loop.txt")
+    bin_path = os.path.join(outdir, "sample_mix.bin")
+    write_text(text_path, text_recs)
+    write_binary(bin_path, bin_recs)
+    print(f"wrote {text_path} ({len(text_recs)} records), "
+          f"{bin_path} ({len(bin_recs)} records)")
+
+
+if __name__ == "__main__":
+    main()

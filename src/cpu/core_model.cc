@@ -39,19 +39,20 @@ CoreModel::CoreModel(const CoreParams &params, WorkloadGenerator &wl,
     batchBuf.resize(kBatchCapacity);
 }
 
-void
+bool
 CoreModel::refillBatch()
 {
+    if (streamDone)
+        return false;
     batchPos = 0;
     batchLen = static_cast<unsigned>(
         workload.nextBatch(batchBuf.data(), kBatchCapacity));
-    if (batchLen == 0) {
-        // Defensive: a generator that returns an empty batch (none
-        // of ours do — streams are infinite) still serves one
-        // record at a time through next().
-        batchBuf[0] = workload.next();
-        batchLen = 1;
-    }
+    // A short return is the end-of-stream signal (only legal there,
+    // per the WorkloadGenerator contract); latch it so the
+    // generator is never re-entered past its end.
+    if (batchLen < kBatchCapacity)
+        streamDone = true;
+    return batchLen > 0;
 }
 
 /**
@@ -239,33 +240,35 @@ CoreModel::execute(const TraceRecord &rec, HotState &h)
 Cycle
 CoreModel::step()
 {
-    if (batchPos == batchLen)
-        refillBatch();
+    if (batchPos == batchLen && !refillBatch())
+        return frontier; // exhausted stream: terminal no-op
     HotState h = loadHot();
     Cycle completion = execute(batchBuf[batchPos++], h);
     storeHot(h);
     return completion;
 }
 
-void
+std::uint64_t
 CoreModel::stepN(std::uint64_t n)
 {
     HotState h = loadHot();
-    while (n > 0) {
-        if (batchPos == batchLen)
-            refillBatch();
+    std::uint64_t remaining = n;
+    while (remaining > 0) {
+        if (batchPos == batchLen && !refillBatch())
+            break; // exhausted stream: report the short count
         unsigned span = batchLen - batchPos;
-        std::uint64_t take = n < span ? n : span;
+        std::uint64_t take = remaining < span ? remaining : span;
         const TraceRecord *rec = batchBuf.data() + batchPos;
         // batchPos is committed before the span runs: the records
         // are already buffered, and the kernel never re-enters the
         // workload generator.
         batchPos += static_cast<unsigned>(take);
-        n -= take;
+        remaining -= take;
         for (std::uint64_t i = 0; i < take; ++i)
             execute(rec[i], h);
     }
     storeHot(h);
+    return n - remaining;
 }
 
 void
@@ -284,6 +287,7 @@ CoreModel::reset()
     frontier = 0;
     batchPos = 0;
     batchLen = 0;
+    streamDone = false;
     stats = CoreCounters{};
 }
 

@@ -22,6 +22,16 @@
  * one instruction from the buffer (the multi-core interleaving
  * path); stepN() drains whole buffer spans in a tight loop (the
  * single-core path). Both orderings are bit-identical.
+ *
+ * Streams may be finite: a short nextBatch() return is the
+ * generator's end-of-stream signal (never a refill hiccup — see the
+ * WorkloadGenerator contract), after which the core executes the
+ * records it already holds and enters a terminal retired-all state
+ * (finished()). Every fetched instruction's completion is already
+ * folded into now() and counters() at that point — the model
+ * computes completion cycles at dispatch, so there is no separate
+ * in-flight state left to drain — and further step()/stepN() calls
+ * are no-ops.
  */
 
 #ifndef ATHENA_CPU_CORE_MODEL_HH
@@ -103,15 +113,31 @@ class CoreModel
     CoreModel(const CoreModel &) = delete;
     CoreModel &operator=(const CoreModel &) = delete;
 
-    /** Execute one instruction; returns its completion cycle. */
+    /**
+     * Execute one instruction; returns its completion cycle. On an
+     * exhausted stream (finished()) this is a no-op returning the
+     * current frontier.
+     */
     Cycle step();
 
     /**
-     * Execute @p n instructions in buffer-sized spans. Identical
-     * semantics to calling step() @p n times, without the
-     * per-instruction call and refill checks.
+     * Execute up to @p n instructions in buffer-sized spans and
+     * return the count executed. Identical semantics to calling
+     * step() @p n times, without the per-instruction call and
+     * refill checks; the return is short only when the workload
+     * stream ended (after which finished() is true).
      */
-    void stepN(std::uint64_t n);
+    std::uint64_t stepN(std::uint64_t n);
+
+    /**
+     * Terminal retired-all state: the workload stream ended and
+     * every record it produced has executed. now() and counters()
+     * are final. Never true for infinite (synthetic) streams.
+     */
+    bool finished() const
+    {
+        return streamDone && batchPos == batchLen;
+    }
 
     /** Committed-frontier time: max completion cycle seen so far. */
     Cycle now() const { return frontier; }
@@ -157,8 +183,14 @@ class CoreModel
     /** Execute one trace record (the per-instruction kernel). */
     Cycle execute(const TraceRecord &rec, HotState &h);
 
-    /** Pull the next record batch from the workload generator. */
-    void refillBatch();
+    /**
+     * Pull the next record batch from the workload generator.
+     * Returns false when the stream is exhausted and no records
+     * were produced (a short, non-empty batch still returns true;
+     * exhaustion is latched so the generator is never re-entered
+     * past its end).
+     */
+    bool refillBatch();
 
     CoreParams cfg;
     WorkloadGenerator &workload;
@@ -207,6 +239,8 @@ class CoreModel
     std::vector<TraceRecord> batchBuf;
     unsigned batchPos = 0;
     unsigned batchLen = 0;
+    /** Latched once nextBatch() returns short: end-of-stream. */
+    bool streamDone = false;
 
     CoreCounters stats;
 };

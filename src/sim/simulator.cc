@@ -660,14 +660,17 @@ Simulator::run(std::uint64_t instructions_per_core,
         // drain — preserving the post-step snapshot semantics of
         // the generic path (the snapshot lands after the step that
         // crosses the warmup boundary; for warmup == 0 it lands
-        // after the first step, hence the max with 1).
+        // after the first step, hence the max with 1). A finite
+        // stream may end inside either span (stepN returns short
+        // exactly then); the warmup snapshot is only taken if the
+        // boundary was actually reached.
         std::uint64_t boundary = std::min(
             total, std::max<std::uint64_t>(warmup_per_core, 1));
         if (cc.core->retired() < boundary) {
             cc.core->stepN(boundary - cc.core->retired());
             check_warmup(0);
         }
-        if (cc.core->retired() < total)
+        if (!cc.core->finished() && cc.core->retired() < total)
             cc.core->stepN(total - cc.core->retired());
     } else {
         // Step the globally least-advanced unfinished core to keep
@@ -680,11 +683,21 @@ Simulator::run(std::uint64_t instructions_per_core,
         // one heap sift per *burst* rather than per instruction —
         // the stepping order is bit-identical to the
         // one-instruction-per-pick schedule.
+        // A core retires from the pick set either at its
+        // instruction budget or the moment its finite stream
+        // exhausts (finished()); the survivors keep the exact
+        // least-advanced ordering — StepPicker::finish preserves
+        // the heap invariant — so finish order and all counters
+        // are a pure function of the per-core trajectories.
         StepPicker picker(cfg.cores);
         while (!picker.empty()) {
             unsigned pick = picker.top();
             CoreCtx &cc = *coreCtxs[pick];
             for (;;) {
+                if (cc.core->finished()) {
+                    picker.finish(pick);
+                    break;
+                }
                 cc.core->step();
                 check_warmup(pick);
                 if (cc.core->retired() >= total) {
@@ -706,6 +719,8 @@ Simulator::run(std::uint64_t instructions_per_core,
         const MeasureStart &ms = starts[c];
         SimResult::PerCore pc;
         pc.workload = cc.workloadName;
+        pc.completedInstructions = cc.core->retired();
+        pc.streamExhausted = cc.core->finished();
         pc.instructions = cc.core->retired() - ms.instr;
         Cycle cyc = cc.core->now() > ms.cycle
                         ? cc.core->now() - ms.cycle

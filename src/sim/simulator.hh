@@ -72,6 +72,17 @@ struct SimResult
         double ipc = 0.0;
         std::uint64_t instructions = 0;
         std::uint64_t cycles = 0;
+        /**
+         * Lifetime retired-instruction count (warmup included).
+         * Equals warmup + measured instructions for infinite
+         * synthetic streams; for finite trace replays it is the
+         * exact record count the stream produced before
+         * exhausting.
+         */
+        std::uint64_t completedInstructions = 0;
+        /** True when the core's workload stream ended before the
+         *  requested instruction budget (finite trace replay). */
+        bool streamExhausted = false;
         std::uint64_t loads = 0;
         std::uint64_t stores = 0;
         std::uint64_t branchMispredicts = 0;
@@ -134,6 +145,15 @@ class Simulator
     /**
      * Run warmup + measured instructions per core and return the
      * measured-window results.
+     *
+     * A core whose workload stream ends early (finite trace
+     * replay) retires from the stepping loop deterministically: it
+     * leaves the multi-core pick set the moment it exhausts, the
+     * remaining cores keep their exact least-advanced ordering,
+     * and its PerCore result reports the exact completed
+     * instruction count with streamExhausted set. A core that
+     * exhausts before crossing the warmup boundary reports its
+     * whole run as the measured window.
      */
     SimResult run(std::uint64_t instructions_per_core,
                   std::uint64_t warmup_per_core);

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common/hashing.hh"
+#include "trace/trace_file.hh"
 
 namespace athena
 {
@@ -392,6 +393,10 @@ SyntheticWorkload::nextBatch(TraceRecord *out, std::size_t n)
 std::unique_ptr<WorkloadGenerator>
 makeWorkload(const WorkloadSpec &spec)
 {
+    if (!spec.tracePath.empty()) {
+        return std::make_unique<TraceReplayWorkload>(spec.tracePath,
+                                                     spec.traceLoops);
+    }
     return std::make_unique<SyntheticWorkload>(spec);
 }
 

@@ -17,6 +17,7 @@
 #ifndef ATHENA_TRACE_WORKLOAD_HH
 #define ATHENA_TRACE_WORKLOAD_HH
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -69,7 +70,15 @@ struct TraceRecord
     bool criticalConsumer = false;
 };
 
-/** Abstract instruction stream. */
+/**
+ * Abstract instruction stream.
+ *
+ * Streams may be infinite (the synthetic zoo) or finite (trace
+ * replay). End-of-stream is signalled exclusively through
+ * nextBatch()'s return value — there is no separate "done" probe,
+ * so a consumer learns a stream ended by asking for records and
+ * receiving fewer than requested.
+ */
 class WorkloadGenerator
 {
   public:
@@ -78,22 +87,41 @@ class WorkloadGenerator
     /** Restart the stream from the beginning (deterministic). */
     virtual void reset() = 0;
 
-    /** Produce the next instruction. Streams are infinite. */
+    /**
+     * Produce the next instruction. Calling next() past the end of
+     * a finite stream is a contract violation (finite generators
+     * throw); consumers that must handle finite streams use
+     * nextBatch(), whose short return is the end-of-stream signal.
+     */
     virtual TraceRecord next() = 0;
 
     /**
      * Fill out[0..n) with the next @p n instructions and return the
-     * count produced (always @p n for the infinite synthetic
-     * streams; a finite trace replayer may return less). The
-     * default is a compatibility shim over next(), so every
-     * generator batches correctly; SyntheticWorkload overrides it
-     * with a kernel that hoists the per-phase state lookups out of
-     * the per-instruction loop. Overrides must produce the exact
-     * record sequence next() would.
+     * count produced.
+     *
+     * Contract:
+     *  - @p n == 0 returns 0 and consumes nothing (defined for
+     *    every generator; the shim below asserts it never touches
+     *    next()).
+     *  - A return < @p n is legal *only* at end-of-stream: the
+     *    records returned are the stream's last, and every
+     *    subsequent call returns 0. Infinite streams (all synthetic
+     *    generators) always return exactly @p n.
+     *
+     * The default is a compatibility shim over next(), so every
+     * infinite generator batches correctly; SyntheticWorkload
+     * overrides it with a kernel that hoists the per-phase state
+     * lookups out of the per-instruction loop, and finite
+     * generators (TraceReplayWorkload) override it to report
+     * exhaustion. Overrides must produce the exact record sequence
+     * next() would.
      */
     virtual std::size_t
     nextBatch(TraceRecord *out, std::size_t n)
     {
+        if (n == 0)
+            return 0;
+        assert(out != nullptr);
         for (std::size_t i = 0; i < n; ++i)
             out[i] = next();
         return n;
@@ -165,13 +193,23 @@ enum class Suite : std::uint8_t
 /** Printable suite name. */
 const char *suiteName(Suite suite);
 
-/** Full description of a synthetic workload. */
+/**
+ * Full description of a workload: either a synthetic phase program
+ * (tracePath empty) or a captured trace to replay (tracePath set —
+ * makeWorkload() then builds a TraceReplayWorkload and ignores
+ * phases/seed).
+ */
 struct WorkloadSpec
 {
     std::string name;
     Suite suite = Suite::kSpec06;
     std::uint64_t seed = 1;
     std::vector<PhaseParams> phases;
+    /** Trace file (text or binary, see trace/trace_file.hh). */
+    std::string tracePath;
+    /** Times the trace is replayed end to end; 0 = loop forever
+     *  (lets finite traces feed fixed-instruction benches). */
+    std::uint64_t traceLoops = 1;
 };
 
 /**
@@ -279,7 +317,10 @@ class SyntheticWorkload : public WorkloadGenerator
     std::uint64_t globalInstr = 0;
 };
 
-/** Convenience factory. */
+/**
+ * Convenience factory: a SyntheticWorkload for phase-program specs,
+ * a TraceReplayWorkload when spec.tracePath is set.
+ */
 std::unique_ptr<WorkloadGenerator> makeWorkload(const WorkloadSpec &spec);
 
 } // namespace athena

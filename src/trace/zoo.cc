@@ -11,9 +11,12 @@
 
 #include "trace/zoo.hh"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/hashing.hh"
@@ -58,7 +61,7 @@ streamy(const std::string &name, Suite suite)
     p.storeFrac = 0.05;
     p.branchFrac = jitter(s, 3, 0.06, 0.12);
     p.branchNoise = jitter(s, 4, 0.005, 0.02);
-    return {name, suite, s, {p}};
+    return {name, suite, s, {p}, {}, 1};
 }
 
 WorkloadSpec
@@ -78,7 +81,7 @@ stridey(const std::string &name, Suite suite, unsigned stride_lines)
     p.storeFrac = 0.05;
     p.branchFrac = 0.08;
     p.branchNoise = 0.01;
-    return {name, suite, s, {p}};
+    return {name, suite, s, {p}, {}, 1};
 }
 
 WorkloadSpec
@@ -97,7 +100,7 @@ chasey(const std::string &name, Suite suite)
     p.storeFrac = 0.04;
     p.branchFrac = jitter(s, 3, 0.10, 0.16);
     p.branchNoise = jitter(s, 4, 0.03, 0.08);
-    return {name, suite, s, {p}};
+    return {name, suite, s, {p}, {}, 1};
 }
 
 WorkloadSpec
@@ -116,7 +119,7 @@ irregular(const std::string &name, Suite suite)
     p.storeFrac = 0.05;
     p.branchFrac = 0.14;
     p.branchNoise = jitter(s, 4, 0.04, 0.09);
-    return {name, suite, s, {p}};
+    return {name, suite, s, {p}, {}, 1};
 }
 
 WorkloadSpec
@@ -136,7 +139,7 @@ graphy(const std::string &name, Suite suite)
     p.storeFrac = 0.05;
     p.branchFrac = 0.12;
     p.branchNoise = 0.04;
-    return {name, suite, s, {p}};
+    return {name, suite, s, {p}, {}, 1};
 }
 
 WorkloadSpec
@@ -155,7 +158,7 @@ computey(const std::string &name, Suite suite)
     p.storeFrac = 0.06;
     p.branchFrac = jitter(s, 4, 0.14, 0.22);
     p.branchNoise = jitter(s, 5, 0.05, 0.12);
-    return {name, suite, s, {p}};
+    return {name, suite, s, {p}, {}, 1};
 }
 
 WorkloadSpec
@@ -175,7 +178,7 @@ regiony(const std::string &name, Suite suite)
     p.storeFrac = 0.05;
     p.branchFrac = 0.10;
     p.branchNoise = 0.02;
-    return {name, suite, s, {p}};
+    return {name, suite, s, {p}, {}, 1};
 }
 
 /** Two-phase workload alternating friendly and adverse behaviour. */
@@ -206,7 +209,7 @@ phased(const std::string &name, Suite suite)
     b.loadFrac = 0.24;
     b.branchFrac = 0.15;
     b.branchNoise = 0.07;
-    return {name, suite, s, {a, b}};
+    return {name, suite, s, {a, b}, {}, 1};
 }
 
 } // namespace
@@ -394,6 +397,31 @@ dpc4Workloads()
     return w;
 }
 
+namespace
+{
+
+/** Levenshtein distance, for did-you-mean suggestions. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
 const WorkloadSpec &
 findWorkload(const std::vector<WorkloadSpec> &list, const std::string &name)
 {
@@ -401,7 +429,29 @@ findWorkload(const std::vector<WorkloadSpec> &list, const std::string &name)
         if (spec.name == name)
             return spec;
     }
-    throw std::out_of_range("no such workload: " + name);
+    // Benches are driven by workload-name strings from scripts and
+    // env vars; a typo used to surface as a bare out_of_range.
+    // Name the request and the nearest candidates instead.
+    std::vector<std::pair<std::size_t, const std::string *>> ranked;
+    for (const auto &spec : list)
+        ranked.emplace_back(editDistance(name, spec.name),
+                            &spec.name);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first < b.first
+                                            : *a.second < *b.second;
+              });
+    std::string msg = "no such workload: '" + name + "' (" +
+                      std::to_string(list.size()) +
+                      " candidates in list";
+    if (!ranked.empty()) {
+        msg += "; nearest:";
+        for (std::size_t i = 0; i < ranked.size() && i < 3; ++i)
+            msg += std::string(i == 0 ? " " : ", ") + "'" +
+                   *ranked[i].second + "'";
+    }
+    msg += ")";
+    throw std::out_of_range(msg);
 }
 
 } // namespace athena

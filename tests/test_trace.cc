@@ -147,6 +147,65 @@ TEST(Workload, DefaultNextBatchShimFillsFromNext)
         EXPECT_EQ(buf[i].pc, i + 1);
 }
 
+TEST(Workload, DefaultNextBatchShimZeroRequestConsumesNothing)
+{
+    // n == 0 is defined for every generator: return 0, consume no
+    // records — the shim must not touch next() (nor the output
+    // pointer, which may legally be null for an empty request).
+    class Counting : public WorkloadGenerator
+    {
+      public:
+        void reset() override { n = 0; }
+        TraceRecord
+        next() override
+        {
+            TraceRecord r;
+            r.pc = ++n;
+            return r;
+        }
+        std::uint64_t n = 0;
+    };
+    Counting gen;
+    EXPECT_EQ(gen.nextBatch(nullptr, 0), 0u);
+    EXPECT_EQ(gen.n, 0u) << "shim consumed records for n == 0";
+    // The stream continues exactly where it would have.
+    TraceRecord buf[3];
+    ASSERT_EQ(gen.nextBatch(buf, 3), 3u);
+    EXPECT_EQ(buf[0].pc, 1u);
+    EXPECT_EQ(gen.nextBatch(buf, 0), 0u);
+    ASSERT_EQ(gen.nextBatch(buf, 2), 2u);
+    EXPECT_EQ(buf[0].pc, 4u);
+}
+
+TEST(Workload, DefaultNextBatchShimRaggedRequestsStaySequential)
+{
+    // Back-to-back ragged request sizes through the shim splice
+    // into one gapless stream — and an infinite generator's shim
+    // never returns short (a short return is reserved for
+    // end-of-stream by the nextBatch contract).
+    class Counting : public WorkloadGenerator
+    {
+      public:
+        void reset() override { n = 0; }
+        TraceRecord
+        next() override
+        {
+            TraceRecord r;
+            r.pc = ++n;
+            return r;
+        }
+        std::uint64_t n = 0;
+    };
+    Counting gen;
+    TraceRecord buf[300];
+    std::uint64_t expect = 1;
+    for (std::size_t n : {1u, 3u, 0u, 256u, 7u, 300u, 2u}) {
+        ASSERT_EQ(gen.nextBatch(buf, n), n);
+        for (std::size_t i = 0; i < n; ++i, ++expect)
+            ASSERT_EQ(buf[i].pc, expect);
+    }
+}
+
 TEST(Workload, ResetRestartsStream)
 {
     auto spec = simpleSpec(Pattern::kStream);
@@ -335,6 +394,33 @@ TEST(Zoo, FindWorkloadThrowsOnUnknown)
                  std::out_of_range);
     EXPECT_EQ(findWorkload(workloads, "605.mcf_s-1554B").name,
               "605.mcf_s-1554B");
+}
+
+TEST(Zoo, FindWorkloadErrorNamesRequestAndNearestCandidates)
+{
+    // Benches are driven by workload-name strings; a typo'd name
+    // must name itself and suggest the nearest real candidates
+    // instead of surfacing a bare out_of_range.
+    auto workloads = evalWorkloads();
+    try {
+        findWorkload(workloads, "605.mcf_s-1554");
+        FAIL() << "expected out_of_range";
+    } catch (const std::out_of_range &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("'605.mcf_s-1554'"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("605.mcf_s-1554B"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("nearest"), std::string::npos) << msg;
+    }
+    // Empty candidate lists still produce a useful message.
+    try {
+        findWorkload({}, "anything");
+        FAIL() << "expected out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("'anything'"),
+                  std::string::npos);
+    }
 }
 
 TEST(Mixes, CategoriesAndDeterminism)

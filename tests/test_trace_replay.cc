@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Tests for finite-stream stepping and trace replay: the
+ * TraceReplayWorkload end-of-stream contract, CoreModel's terminal
+ * retired-all state, and golden-style determinism of replaying the
+ * checked-in sample traces through single-core and 4-core
+ * Simulator::run — exact completed-instruction counts, bit-identical
+ * counters across repeated runs, and deterministic retirement when
+ * cores exhaust at different times (including simultaneous ties).
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "trace/trace_file.hh"
+#include "trace/workload.hh"
+#include "trace/zoo.hh"
+
+namespace athena
+{
+namespace
+{
+
+std::string
+dataPath(const std::string &name)
+{
+    return std::string(ATHENA_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string
+textSample()
+{
+    return dataPath("sample_loop.txt");
+}
+
+std::string
+binarySample()
+{
+    return dataPath("sample_mix.bin");
+}
+
+// ------------------------------------------------- replay workload
+
+TEST(TraceReplay, EmitsFileRecordsThenExhausts)
+{
+    auto file = std::make_shared<const TraceFile>(textSample());
+    const std::size_t len = file->size();
+    TraceReplayWorkload replay(file, 2);
+
+    // Two full passes via ragged batch sizes.
+    std::vector<TraceRecord> got;
+    std::vector<TraceRecord> buf(600);
+    const std::size_t sizes[] = {1, 7, 256, 99, 600, 3};
+    std::size_t si = 0;
+    for (;;) {
+        std::size_t n = sizes[si++ % 6];
+        std::size_t filled = replay.nextBatch(buf.data(), n);
+        got.insert(got.end(), buf.begin(),
+                   buf.begin() + static_cast<std::ptrdiff_t>(filled));
+        if (filled < n)
+            break;
+    }
+    ASSERT_EQ(got.size(), 2 * len);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        TraceRecord want = file->at(i % len);
+        EXPECT_EQ(got[i].pc, want.pc) << "record " << i;
+        EXPECT_EQ(got[i].addr, want.addr) << "record " << i;
+        EXPECT_EQ(static_cast<int>(got[i].kind),
+                  static_cast<int>(want.kind))
+            << "record " << i;
+    }
+    // Exhausted: every further call returns 0; next() throws.
+    EXPECT_EQ(replay.nextBatch(buf.data(), 10), 0u);
+    EXPECT_EQ(replay.nextBatch(buf.data(), 0), 0u);
+    EXPECT_THROW(replay.next(), std::runtime_error);
+    // reset() rewinds to a fresh first pass.
+    replay.reset();
+    EXPECT_EQ(replay.nextBatch(buf.data(), 5), 5u);
+    EXPECT_EQ(buf[0].pc, file->at(0).pc);
+}
+
+TEST(TraceReplay, LoopZeroIsInfinite)
+{
+    TraceReplayWorkload replay(binarySample(), 0);
+    const std::size_t len = replay.trace().size();
+    std::vector<TraceRecord> buf(len * 3 + 17);
+    // Far more than one pass, never short.
+    EXPECT_EQ(replay.nextBatch(buf.data(), buf.size()), buf.size());
+    EXPECT_EQ(replay.nextBatch(buf.data(), 100), 100u);
+    // next() keeps streaming across the wrap too.
+    for (int i = 0; i < 2000; ++i)
+        (void)replay.next();
+}
+
+TEST(TraceReplay, MakeWorkloadDispatchesOnTracePath)
+{
+    WorkloadSpec spec =
+        traceWorkloadSpec("replay", textSample(), 1, Suite::kCvp);
+    auto gen = makeWorkload(spec);
+    auto *replay = dynamic_cast<TraceReplayWorkload *>(gen.get());
+    ASSERT_NE(replay, nullptr);
+    EXPECT_EQ(replay->totalRecords(), replay->trace().size());
+    EXPECT_EQ(spec.suite, Suite::kCvp);
+
+    // Synthetic specs still produce synthetic generators.
+    auto synth = makeWorkload(evalWorkloads().front());
+    EXPECT_EQ(dynamic_cast<TraceReplayWorkload *>(synth.get()),
+              nullptr);
+}
+
+TEST(TraceReplay, PathOpensShareOneTraceFile)
+{
+    // Fleet runs replay one trace through many Simulators; path
+    // opens must share a single parsed/mmapped instance instead of
+    // re-reading the file per workload.
+    TraceReplayWorkload a(textSample()), b(textSample());
+    EXPECT_EQ(&a.trace(), &b.trace());
+    auto shared = openTraceShared(textSample());
+    EXPECT_EQ(shared.get(), &a.trace());
+    // Different paths stay distinct.
+    TraceReplayWorkload c(binarySample());
+    EXPECT_NE(&a.trace(), &c.trace());
+}
+
+// ------------------------------------------------ core model state
+
+/** Fixed-latency memory stub. */
+class FlatMemory : public MemoryInterface
+{
+  public:
+    Cycle
+    load(std::uint64_t, Addr, Cycle issue, bool &l1_miss) override
+    {
+        l1_miss = false;
+        ++loads;
+        return issue + 4;
+    }
+
+    void store(std::uint64_t, Addr, Cycle) override { ++stores; }
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+TEST(CoreModelFinite, StepNStopsAtExhaustionAndReportsCount)
+{
+    TraceReplayWorkload replay(textSample(), 3);
+    const std::uint64_t total = replay.totalRecords();
+    FlatMemory mem;
+    CoreModel core(CoreParams{}, replay, mem);
+
+    EXPECT_FALSE(core.finished());
+    EXPECT_EQ(core.stepN(1000000), total);
+    EXPECT_TRUE(core.finished());
+    EXPECT_EQ(core.retired(), total);
+    Cycle end = core.now();
+    std::uint64_t loads = mem.loads;
+
+    // Terminal state: both stepping APIs are no-ops now.
+    EXPECT_EQ(core.stepN(100), 0u);
+    EXPECT_EQ(core.step(), end);
+    EXPECT_EQ(core.retired(), total);
+    EXPECT_EQ(core.now(), end);
+    EXPECT_EQ(mem.loads, loads);
+
+    // reset() rewinds the stream along with the core.
+    core.reset();
+    EXPECT_FALSE(core.finished());
+    EXPECT_EQ(core.stepN(10), 10u);
+}
+
+TEST(CoreModelFinite, StepMatchesStepNOnFiniteStream)
+{
+    TraceReplayWorkload w1(binarySample(), 2), w2(binarySample(), 2);
+    FlatMemory m1, m2;
+    CoreModel a(CoreParams{}, w1, m1);
+    CoreModel b(CoreParams{}, w2, m2);
+
+    std::uint64_t a_steps = 0;
+    while (!a.finished()) {
+        a.step();
+        ++a_steps;
+        ASSERT_LE(a_steps, w1.totalRecords() + 1) << "runaway";
+    }
+    // The final step() is the no-op that discovers exhaustion when
+    // the stream length is a batch multiple; retired() is exact
+    // either way.
+    EXPECT_EQ(a.retired(), w1.totalRecords());
+
+    EXPECT_EQ(b.stepN(w2.totalRecords() + 500), w2.totalRecords());
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.counters().loads, b.counters().loads);
+    EXPECT_EQ(a.counters().branchMispredicts,
+              b.counters().branchMispredicts);
+    EXPECT_EQ(m1.loads, m2.loads);
+    EXPECT_EQ(m1.stores, m2.stores);
+}
+
+// ------------------------------------------- simulator golden runs
+
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        const auto &x = a.cores[c];
+        const auto &y = b.cores[c];
+        EXPECT_EQ(x.completedInstructions, y.completedInstructions)
+            << "core " << c;
+        EXPECT_EQ(x.streamExhausted, y.streamExhausted) << c;
+        EXPECT_EQ(x.instructions, y.instructions) << c;
+        EXPECT_EQ(x.cycles, y.cycles) << c;
+        EXPECT_EQ(x.loads, y.loads) << c;
+        EXPECT_EQ(x.stores, y.stores) << c;
+        EXPECT_EQ(x.branchMispredicts, y.branchMispredicts) << c;
+        EXPECT_EQ(x.llcMisses, y.llcMisses) << c;
+        EXPECT_EQ(x.llcMissLatency, y.llcMissLatency) << c;
+        EXPECT_EQ(x.ipc, y.ipc) << c;
+    }
+    EXPECT_EQ(a.dram.demandRequests, b.dram.demandRequests);
+    EXPECT_EQ(a.dram.prefetchRequests, b.dram.prefetchRequests);
+    EXPECT_EQ(a.dram.ocpRequests, b.dram.ocpRequests);
+    EXPECT_EQ(a.dram.rowHits, b.dram.rowHits);
+    EXPECT_EQ(a.dram.busBusyCycles, b.dram.busBusyCycles);
+}
+
+TEST(TraceReplaySim, SingleCoreTerminatesWithExactCounts)
+{
+    WorkloadSpec spec =
+        traceWorkloadSpec("sample_loop.x2", textSample(), 2);
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+
+    auto run_once = [&] {
+        Simulator sim(cfg, {spec});
+        // Budget far beyond the trace: termination must come from
+        // the exhausted-stream contract, not the budget.
+        return sim.run(1000000, 100);
+    };
+    SimResult a = run_once();
+    ASSERT_EQ(a.cores.size(), 1u);
+    EXPECT_TRUE(a.cores[0].streamExhausted);
+    EXPECT_EQ(a.cores[0].completedInstructions, 800u);
+    // Measured window = everything after the warmup snapshot.
+    EXPECT_EQ(a.cores[0].instructions, 800u - 100u);
+    EXPECT_GT(a.cores[0].cycles, 0u);
+
+    SimResult b = run_once();
+    expectSameResult(a, b);
+}
+
+TEST(TraceReplaySim, SingleCoreExhaustsBeforeWarmup)
+{
+    // Warmup larger than the stream: the run still terminates and
+    // reports the whole stream as the measured window.
+    WorkloadSpec spec =
+        traceWorkloadSpec("sample_loop.x1", textSample(), 1);
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    Simulator sim(cfg, {spec});
+    SimResult res = sim.run(1000, 5000);
+    EXPECT_TRUE(res.cores[0].streamExhausted);
+    EXPECT_EQ(res.cores[0].completedInstructions, 400u);
+    EXPECT_EQ(res.cores[0].instructions, 400u);
+}
+
+TEST(TraceReplaySim, FourCoreStaggeredExhaustionIsDeterministic)
+{
+    // Cores exhaust at different times (400, 1200, 512, 512): the
+    // two loops=1 binary replays tie exactly — simultaneous
+    // exhaustion must resolve deterministically too.
+    std::vector<WorkloadSpec> specs = {
+        traceWorkloadSpec("t.a", textSample(), 1),
+        traceWorkloadSpec("t.b", textSample(), 3),
+        traceWorkloadSpec("t.c", binarySample(), 1),
+        traceWorkloadSpec("t.d", binarySample(), 1),
+    };
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    cfg.cores = 4;
+
+    auto run_once = [&] {
+        Simulator sim(cfg, specs);
+        return sim.run(1000000, 0);
+    };
+    SimResult a = run_once();
+    ASSERT_EQ(a.cores.size(), 4u);
+    EXPECT_EQ(a.cores[0].completedInstructions, 400u);
+    EXPECT_EQ(a.cores[1].completedInstructions, 1200u);
+    EXPECT_EQ(a.cores[2].completedInstructions, 512u);
+    EXPECT_EQ(a.cores[3].completedInstructions, 512u);
+    for (const auto &core : a.cores)
+        EXPECT_TRUE(core.streamExhausted);
+
+    SimResult b = run_once();
+    expectSameResult(a, b);
+}
+
+TEST(TraceReplaySim, FiniteAndInfiniteCoresMix)
+{
+    // One finite replay next to an infinite synthetic stream: the
+    // replay core retires from the pick set early, the synthetic
+    // core still runs to its full budget.
+    std::vector<WorkloadSpec> specs = {
+        traceWorkloadSpec("t.fin", binarySample(), 1),
+        evalWorkloads().front(),
+    };
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    cfg.cores = 2;
+    Simulator sim(cfg, specs);
+    SimResult res = sim.run(2000, 0);
+    EXPECT_TRUE(res.cores[0].streamExhausted);
+    EXPECT_EQ(res.cores[0].completedInstructions, 512u);
+    EXPECT_FALSE(res.cores[1].streamExhausted);
+    EXPECT_EQ(res.cores[1].completedInstructions, 2000u);
+}
+
+TEST(TraceReplaySim, LoopedReplayFeedsFixedInstructionRuns)
+{
+    // loops = 0 turns the capture into an infinite stream: the run
+    // terminates on the instruction budget like any synthetic
+    // workload, and twice the budget means twice the instructions.
+    WorkloadSpec spec =
+        traceWorkloadSpec("sample.loop", binarySample(), 0);
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    Simulator sim(cfg, {spec});
+    SimResult res = sim.run(20000, 1000);
+    EXPECT_FALSE(res.cores[0].streamExhausted);
+    EXPECT_EQ(res.cores[0].completedInstructions, 21000u);
+    EXPECT_EQ(res.cores[0].instructions, 20000u);
+}
+
+TEST(TraceReplaySim, RunnerFleetAcceptsTraceSpecs)
+{
+    // Trace specs flow through the same ExperimentRunner machinery
+    // as the zoo (baseline caching, parallel fleet, speedup rows).
+    setenv("ATHENA_SIM_INSTR", "20000", 1);
+    setenv("ATHENA_WARMUP_INSTR", "2000", 1);
+    ExperimentRunner runner;
+    unsetenv("ATHENA_SIM_INSTR");
+    unsetenv("ATHENA_WARMUP_INSTR");
+
+    std::vector<WorkloadSpec> specs = {
+        traceWorkloadSpec("trace.loop", binarySample(), 0,
+                          Suite::kSpec06),
+        traceWorkloadSpec("trace.finite", textSample(), 2,
+                          Suite::kCvp),
+    };
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
+    auto rows = runner.speedups(cfg, specs);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.baselineIpc, 0.0) << row.workload;
+        EXPECT_GT(row.speedup, 0.0) << row.workload;
+        EXPECT_FALSE(row.result.cores.empty());
+    }
+    EXPECT_TRUE(rows[1].result.cores[0].streamExhausted);
+    EXPECT_EQ(rows[1].result.cores[0].completedInstructions, 800u);
+}
+
+} // namespace
+} // namespace athena
