@@ -7,10 +7,17 @@
  * (12.8 GB/s); even POPET alone degrades slightly at 1.6 GB/s;
  * Athena wins at every point, with its largest margins in the
  * bandwidth-constrained configurations.
+ *
+ * Besides the text table, every sweep point is reported through the
+ * bench_throughput JSON schema (BENCH_fig14_bandwidth.json, path
+ * overridable via ATHENA_BENCH_JSON) with its overall speedup and
+ * wall time, so bandwidth-sweep regressions are diffable in CI
+ * artifacts case-by-case.
  */
 
 #include "bench_util.hh"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -29,6 +36,7 @@ main()
         PolicyKind::kNaive, PolicyKind::kTlp, PolicyKind::kHpac,
         PolicyKind::kMab, PolicyKind::kAthena};
 
+    JsonReport report("bench_fig14_bandwidth");
     TextTable t("Fig. 14: overall speedup vs main memory bandwidth "
                 "(CD4)");
     t.addRow({"policy", "1.6 GB/s", "3.2 GB/s", "6.4 GB/s",
@@ -39,14 +47,23 @@ main()
             SystemConfig cfg =
                 makeDesignConfig(CacheDesign::kCd4, policy);
             cfg.bandwidthGBps = bw;
+            auto t0 = std::chrono::steady_clock::now();
             auto rows = runner.speedups(cfg, workloads);
+            auto t1 = std::chrono::steady_clock::now();
             CategorySummary s =
                 ExperimentRunner::summarize(rows, {});
             row.push_back(TextTable::num(s.overall));
+            report.addCase(
+                std::string("cd4_") + policyKindName(policy) +
+                    "_bw" + TextTable::num(bw, 1),
+                cfg.cores, 0, 0,
+                std::chrono::duration<double>(t1 - t0).count(),
+                "speedup", s.overall);
         }
         t.addRow(std::move(row));
     }
     t.print(std::cout);
+    report.write("BENCH_fig14_bandwidth.json");
 
     std::cout << "\nExpected shape: naive/pf_only rise steeply with "
                  "bandwidth (degrading at 1.6); athena dominates "

@@ -20,6 +20,7 @@
 #include "common/fast_mod.hh"
 #include "common/rng.hh"
 #include "mem/cache.hh"
+#include "mem/dram.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/simulator.hh"
 #include "sim/step_picker.hh"
@@ -283,6 +284,78 @@ BM_CoreStepBatch(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * chunk));
 }
 BENCHMARK(BM_CoreStepBatch);
+
+/**
+ * Shared request stream for the DRAM service benchmarks: a
+ * realistic mix of row-hit streaks, bank conflicts, and scattered
+ * lines, replayed with arrival 0 (a saturated controller, the
+ * regime the fig14/fig16 bandwidth sweeps live in).
+ */
+std::vector<athena::Addr>
+dramBenchLines()
+{
+    std::vector<athena::Addr> lines;
+    athena::Rng rng(21);
+    athena::Addr cursor = 0;
+    while (lines.size() < 4096) {
+        switch (rng.next() % 3) {
+          case 0: // row-hit streak
+            for (unsigned k = 0; k < 8; ++k)
+                lines.push_back(cursor++);
+            break;
+          case 1: // bank conflict
+            lines.push_back(cursor + 4096);
+            break;
+          default: // scatter
+            cursor = rng.next() % (1ull << 28);
+            lines.push_back(cursor);
+            break;
+        }
+    }
+    lines.resize(4096);
+    return lines;
+}
+
+void
+BM_DramServeScalar(benchmark::State &state)
+{
+    // 32 requests per iteration through the scalar serve() shim
+    // (enqueue + drain-of-1 each): the per-request service cost
+    // the demand-miss path pays.
+    athena::Dram dram{athena::DramParams{}};
+    auto lines = dramBenchLines();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        for (unsigned k = 0; k < 32; ++k) {
+            benchmark::DoNotOptimize(
+                dram.serve(0, lines[i++ & 4095],
+                           athena::AccessType::kPrefetch));
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_DramServeScalar);
+
+void
+BM_DramDrainBatch(benchmark::State &state)
+{
+    // The same 32 requests enqueued and drained in one batched
+    // kernel call — the trigger-window fast path.
+    athena::Dram dram{athena::DramParams{}};
+    auto lines = dramBenchLines();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        for (unsigned k = 0; k < 32; ++k) {
+            dram.enqueue(0, lines[i++ & 4095],
+                         athena::AccessType::kPrefetch);
+        }
+        benchmark::DoNotOptimize(dram.drain().back());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_DramDrainBatch);
 
 void
 BM_SimulatorInstruction(benchmark::State &state)

@@ -274,6 +274,18 @@ main(int argc, char **argv)
         acfg.cores = 4;
         cases.push_back({"mc4_cd1_athena_mix", acfg, mix4, 4});
     }
+    // DRAM-pressure case: two L2C prefetchers (CD3) x 4 cores at a
+    // bandwidth-starved 1.6 GB/s/core — prefetch bursts pile onto
+    // the shared controller queue, so the batched drain kernel is
+    // the dominant service path. This is the guard for the
+    // request-queue refactor of the memory hierarchy.
+    {
+        SystemConfig cfg =
+            makeDesignConfig(CacheDesign::kCd3, PolicyKind::kNaive);
+        cfg.cores = 4;
+        cfg.bandwidthGBps = 1.6;
+        cases.push_back({"mc4_cd3_naive_lowbw_mix", cfg, mix4, 4});
+    }
     // Trace replay smoke: the checked-in sample looped infinitely,
     // so the TraceFile decode + replay refill path sits in the
     // guarded throughput aggregate alongside the synthetic kernels.

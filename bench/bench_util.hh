@@ -15,6 +15,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -95,6 +98,88 @@ staticBest(const std::map<std::string, std::vector<SpeedupRow>> &rows,
     }
     return best;
 }
+
+/**
+ * Machine-readable report in the bench_throughput JSON schema: a
+ * top-level "benchmark" name and "wall_seconds" aggregate plus a
+ * "cases" array whose entries carry name / cores / instructions /
+ * accesses / wall_seconds — so per-figure sweeps land in CI
+ * artifacts diffable with the same tooling that reads
+ * BENCH_throughput.json. Figure benches append their figure metric
+ * (e.g. "speedup") as an extra per-case field.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string benchmark)
+        : benchmark(std::move(benchmark))
+    {}
+
+    void
+    addCase(const std::string &name, unsigned cores,
+            std::uint64_t instructions, std::uint64_t accesses,
+            double wall_seconds, const std::string &extra_key = "",
+            double extra_value = 0.0)
+    {
+        cases.push_back({name, cores, instructions, accesses,
+                         wall_seconds, extra_key, extra_value});
+        totalWall += wall_seconds;
+    }
+
+    /**
+     * Write to @p fallback_path, overridden by ATHENA_BENCH_JSON
+     * (the same knob bench_throughput honours). Returns false when
+     * the file cannot be opened.
+     */
+    bool
+    write(const std::string &fallback_path) const
+    {
+        const char *env = std::getenv("ATHENA_BENCH_JSON");
+        const std::string path =
+            env && *env ? env : fallback_path;
+        std::ofstream json(path);
+        if (!json) {
+            std::cerr << "cannot open " << path << "\n";
+            return false;
+        }
+        json << "{\n"
+             << "  \"benchmark\": \"" << benchmark << "\",\n"
+             << "  \"wall_seconds\": " << totalWall << ",\n"
+             << "  \"cases\": [\n";
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            const Case &c = cases[i];
+            json << "    {\"name\": \"" << c.name << "\", "
+                 << "\"cores\": " << c.cores << ", "
+                 << "\"instructions\": " << c.instructions << ", "
+                 << "\"accesses\": " << c.accesses << ", "
+                 << "\"wall_seconds\": " << c.wallSeconds;
+            if (!c.extraKey.empty()) {
+                json << ", \"" << c.extraKey
+                     << "\": " << c.extraValue;
+            }
+            json << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+        }
+        json << "  ]\n}\n";
+        std::cout << "JSON -> " << path << "\n";
+        return true;
+    }
+
+  private:
+    struct Case
+    {
+        std::string name;
+        unsigned cores;
+        std::uint64_t instructions;
+        std::uint64_t accesses;
+        double wallSeconds;
+        std::string extraKey;
+        double extraValue;
+    };
+
+    std::string benchmark;
+    std::vector<Case> cases;
+    double totalWall = 0.0;
+};
 
 /** Print a one-line category summary for a labelled row set. */
 inline void

@@ -104,6 +104,7 @@ Cache::fill(const CacheRef &r, Cycle now, Cycle ready_at,
         if (tags[w] == r.key) {
             // Refill of a resident line: refresh metadata only.
             stamps[w] = ++lruClock;
+            ev.filledWay = static_cast<std::uint8_t>(w);
             return ev;
         }
         if (have_invalid)
@@ -138,6 +139,7 @@ Cache::fill(const CacheRef &r, Cycle now, Cycle ready_at,
     victim->readyAt = ready_at;
     stamps[victim_w] = ++lruClock;
     mruWay[setIndex(r.line)] = static_cast<std::uint8_t>(victim_w);
+    ev.filledWay = static_cast<std::uint8_t>(victim_w);
     if (is_prefetch)
         ++statPrefetchFills;
     (void)now;

@@ -1,22 +1,39 @@
 /**
  * @file
- * DRAM channel implementation.
+ * DRAM channel implementation: request-queue controller with a
+ * batched drain kernel.
  */
 
 #include "mem/dram.hh"
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace athena
 {
 
 Dram::Dram(const DramParams &params) : cfg(params)
 {
-    assert(cfg.banks >= 1 && cfg.banks <= bankState.size());
+    if (cfg.banks < 1 || cfg.banks > kMaxBanks) {
+        throw std::invalid_argument(
+            "DramParams::banks must be in [1, " +
+            std::to_string(kMaxBanks) + "], got " +
+            std::to_string(cfg.banks));
+    }
+    if (cfg.rowBytes < kLineBytes || cfg.rowBytes % kLineBytes != 0) {
+        throw std::invalid_argument(
+            "DramParams::rowBytes must be a positive multiple of " +
+            std::to_string(kLineBytes) + " bytes, got " +
+            std::to_string(cfg.rowBytes));
+    }
+    if (!(cfg.bandwidthGBps > 0.0) || !(cfg.coreGHz > 0.0)) {
+        throw std::invalid_argument(
+            "DramParams bandwidthGBps and coreGHz must be > 0");
+    }
     bankCount = cfg.banks;
     // cycles per 64 B line on the data bus: bytes / (GB/s) * GHz.
     lineCycles = static_cast<double>(kLineBytes) / cfg.bandwidthGBps *
@@ -25,22 +42,27 @@ Dram::Dram(const DramParams &params) : cfg(params)
     tCcdCycles =
         static_cast<Cycle>(std::llround(cfg.tCcdNs * cfg.coreGHz));
     lineOccupancy = static_cast<Cycle>(std::llround(lineCycles));
-    const std::uint64_t lines_per_row = cfg.rowBytes / kLineBytes;
-    if (std::has_single_bit(lines_per_row) &&
+    linesPerRow = cfg.rowBytes / kLineBytes;
+    if (!cfg.forceDivisionDecode &&
+        std::has_single_bit(linesPerRow) &&
         std::has_single_bit(static_cast<std::uint64_t>(bankCount))) {
         shiftDecode = true;
         rowShift = static_cast<unsigned>(
-            std::bit_width(lines_per_row) - 1);
+            std::bit_width(linesPerRow) - 1);
         bankShift = static_cast<unsigned>(
             std::bit_width(static_cast<std::uint64_t>(bankCount)) -
             1);
         bankMask = bankCount - 1;
     }
+    qArrival.resize(64);
+    qLine.resize(64);
+    qType.resize(64);
+    qDone.resize(64);
     reset();
 }
 
 Cycle
-Dram::serve(Cycle arrival, Addr line_num, AccessType type)
+Dram::serveOne(Cycle arrival, Addr line_num, AccessType type)
 {
     unsigned bank;
     Addr row;
@@ -49,24 +71,14 @@ Dram::serve(Cycle arrival, Addr line_num, AccessType type)
             static_cast<unsigned>((line_num >> rowShift) & bankMask);
         row = line_num >> (rowShift + bankShift);
     } else {
-        const std::uint64_t lines_per_row =
-            cfg.rowBytes / kLineBytes;
-        bank = static_cast<unsigned>((line_num / lines_per_row) %
+        bank = static_cast<unsigned>((line_num / linesPerRow) %
                                      bankCount);
-        row = line_num / (lines_per_row * bankCount);
+        row = line_num / (linesPerRow * bankCount);
     }
 
     Bank &b = bankState[bank];
-    Cycle bank_free = std::max(arrival, b.busyUntil);
+    const Cycle bank_free = std::max(arrival, b.busyUntil);
     Cycle column_ready;
-
-    // Column accesses pipeline within an open row (tCCD), so
-    // row-hit streams are limited only by the shared data bus. A
-    // row *miss* must precharge + activate, and the bank cannot
-    // open another row until the row cycle time tRC elapses — this
-    // is what makes scattered (inaccurate-prefetch) traffic consume
-    // far more bank time than sequential traffic, the asymmetry the
-    // paper's bandwidth-constrained results rest on.
     if (b.openRow == row) {
         column_ready = bank_free;
         b.busyUntil = column_ready + tCcdCycles;
@@ -80,14 +92,13 @@ Dram::serve(Cycle arrival, Addr line_num, AccessType type)
         ++total.rowMisses;
     }
 
-    Cycle transfer_start =
+    const Cycle transfer_start =
         std::max(column_ready + tCycles, busNextFree);
-    const Cycle occupancy = lineOccupancy;
-    Cycle done = transfer_start + occupancy;
+    const Cycle done = transfer_start + lineOccupancy;
     busNextFree = done;
 
-    window.busBusyCycles += occupancy;
-    total.busBusyCycles += occupancy;
+    window.busBusyCycles += lineOccupancy;
+    total.busBusyCycles += lineOccupancy;
     switch (type) {
       case AccessType::kDemandLoad:
       case AccessType::kDemandStore:
@@ -106,6 +117,148 @@ Dram::serve(Cycle arrival, Addr line_num, AccessType type)
     return done;
 }
 
+template <bool Shift>
+void
+Dram::serviceBatch(std::size_t n)
+{
+    // One fused pass in enqueue order: each request's bank/row is
+    // decoded exactly once, inline (the decode mode selects the
+    // loop instantiation, so the body is branchless on it). Bank
+    // state is pulled into a local copy on first touch and written
+    // back once per drain, so a row-hit streak (or any revisit of
+    // a bank inside the batch) never re-touches the bank array;
+    // the shared-bus cursor and all counters live in registers for
+    // the whole batch.
+    //
+    // Column accesses pipeline within an open row (tCCD), so
+    // row-hit streams are limited only by the shared data bus. A
+    // row *miss* must precharge + activate, and the bank cannot
+    // open another row until the row cycle time tRC elapses — this
+    // is what makes scattered (inaccurate-prefetch) traffic consume
+    // far more bank time than sequential traffic, the asymmetry the
+    // paper's bandwidth-constrained results rest on.
+    Cycle busy[kMaxBanks];
+    Addr open[kMaxBanks];
+    std::uint32_t touched = 0;
+    Cycle bus = busNextFree;
+    const Cycle occupancy = lineOccupancy;
+    const Cycle t_cycles = tCycles;
+    const Cycle t_ccd = tCcdCycles;
+    std::uint64_t hits = 0, misses = 0;
+    // Requester-class counts: demand (loads + stores), prefetch,
+    // OCP — index derived from the AccessType value (loads and
+    // stores share the demand bucket).
+    std::uint64_t byClass[3] = {0, 0, 0};
+
+    const Cycle *arrivals = qArrival.data();
+    const Addr *lines = qLine.data();
+    const std::uint8_t *types = qType.data();
+    Cycle *out = qDone.data();
+    const unsigned rs = rowShift;
+    const unsigned bs = bankShift;
+    const std::uint64_t bm = bankMask;
+    const std::uint64_t lpr = linesPerRow;
+    const std::uint64_t nb = bankCount;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr line = lines[i];
+        unsigned bank;
+        Addr row;
+        if constexpr (Shift) {
+            bank = static_cast<unsigned>((line >> rs) & bm);
+            row = line >> (rs + bs);
+        } else {
+            bank = static_cast<unsigned>((line / lpr) % nb);
+            row = line / (lpr * nb);
+        }
+
+        const std::uint32_t bit = 1u << bank;
+        if (!(touched & bit)) {
+            touched |= bit;
+            busy[bank] = bankState[bank].busyUntil;
+            open[bank] = bankState[bank].openRow;
+        }
+
+        const Cycle bank_free = std::max(arrivals[i], busy[bank]);
+        Cycle column_ready;
+        if (open[bank] == row) {
+            column_ready = bank_free;
+            busy[bank] = column_ready + t_ccd;
+            ++hits;
+        } else {
+            column_ready = bank_free + 2 * t_cycles; // tRP + tRCD
+            open[bank] = row;
+            busy[bank] = bank_free + 4 * t_cycles;   // tRC
+            ++misses;
+        }
+
+        const Cycle transfer_start =
+            std::max(column_ready + t_cycles, bus);
+        bus = transfer_start + occupancy;
+        out[i] = bus;
+
+        const unsigned t = types[i];
+        byClass[t >= 2 ? t - 1 : 0] += 1;
+    }
+
+    // Publish: per-bank state once per drain, then the bus cursor
+    // and the batch-accumulated counters.
+    while (touched != 0) {
+        const unsigned bank = static_cast<unsigned>(
+            std::countr_zero(touched));
+        touched &= touched - 1;
+        bankState[bank].busyUntil = busy[bank];
+        bankState[bank].openRow = open[bank];
+    }
+    busNextFree = bus;
+
+    const std::uint64_t bus_busy =
+        static_cast<std::uint64_t>(n) * occupancy;
+    window.demandRequests += byClass[0];
+    window.prefetchRequests += byClass[1];
+    window.ocpRequests += byClass[2];
+    window.rowHits += hits;
+    window.rowMisses += misses;
+    window.busBusyCycles += bus_busy;
+    total.demandRequests += byClass[0];
+    total.prefetchRequests += byClass[1];
+    total.ocpRequests += byClass[2];
+    total.rowHits += hits;
+    total.rowMisses += misses;
+    total.busBusyCycles += bus_busy;
+}
+
+std::span<const Cycle>
+Dram::drain()
+{
+    const std::size_t n = qSize;
+    if (n == 0)
+        return {};
+    if (qDone.size() < n)
+        qDone.resize(n);
+    if (n == 1) {
+        qDone[0] = serveOne(qArrival[0], qLine[0],
+                            static_cast<AccessType>(qType[0]));
+    } else if (shiftDecode) {
+        serviceBatch<true>(n);
+    } else {
+        serviceBatch<false>(n);
+    }
+    qSize = 0;
+    return {qDone.data(), n};
+}
+
+void
+Dram::growQueue()
+{
+    const std::size_t cap = std::max<std::size_t>(
+        64, 2 * qArrival.size());
+    qArrival.resize(cap);
+    qLine.resize(cap);
+    qType.resize(cap);
+    qDone.resize(cap);
+}
+
 DramCounters
 Dram::takeCounters()
 {
@@ -122,6 +275,7 @@ Dram::reset()
         b = Bank{};
     window = DramCounters{};
     total = DramCounters{};
+    qSize = 0;
 }
 
 } // namespace athena

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -28,6 +29,17 @@ namespace
 
 /** Slot marker for fills that must not generate feedback. */
 constexpr std::uint8_t kNoFeedbackSlot = 0xff;
+
+/**
+ * Provisional readyAt for lines filled while their DRAM request is
+ * still pending on the controller queue. Never observable: the
+ * trigger window's drain patches the real completion cycle in
+ * before any lookup can read readyAt, and an eviction beforehand
+ * discards it exactly as scalar service would have. The extreme
+ * value makes any violation of that invariant loud in the golden
+ * and equivalence suites rather than silently plausible.
+ */
+constexpr Cycle kPendingReady = ~0ull;
 
 std::unique_ptr<CoordinationPolicy>
 makePolicy(const SystemConfig &cfg, unsigned num_prefetchers)
@@ -79,6 +91,61 @@ class CoreMemAdapter : public MemoryInterface
   private:
     Simulator &sim;
     unsigned core;
+};
+
+/**
+ * The DRAM-bound prefetch fills collected inside one trigger
+ * window (one triggerLevel call): each entry remembers which cache
+ * levels were eagerly filled with a provisional readyAt so the
+ * window's single Dram::drain() can patch the real completion
+ * cycles in, index-aligned with the controller queue. Lives on the
+ * trigger path's stack — no heap traffic.
+ */
+struct Simulator::PrefetchFillBatch
+{
+    /**
+     * One level's patch target: the coordinates of the eager fill
+     * (set base + way from CacheEviction::filledWay + packed key),
+     * so delivering the completion is one tag compare and a store.
+     * No default member initializers: the batch lives on the stack
+     * of every triggerLevel call, and value-initialized entries
+     * would zero the whole buffer per access.
+     */
+    struct Target
+    {
+        std::size_t base;
+        std::uint64_t key;
+        std::uint8_t way;
+    };
+
+    struct Entry
+    {
+        Target l1; ///< Valid when fillsL1.
+        Target l2;
+        Target llc;
+        bool fillsL1;
+    };
+
+    /** One trigger window is at most slots x CandidateVec capacity
+     *  candidates; a full batch mid-window just drains early, which
+     *  is semantics-preserving (patches commute and the controller
+     *  services strictly in enqueue order either way). */
+    static constexpr unsigned kCapacity = 48;
+
+    Entry buf[kCapacity];
+    unsigned count = 0;
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == kCapacity; }
+    void clear() { count = 0; }
+
+    static Target
+    target(const CacheRef &r, std::uint8_t way)
+    {
+        return {r.base, r.key, way};
+    }
+
+    void push(const Entry &e) { buf[count++] = e; }
 };
 
 /** All per-core state. */
@@ -145,7 +212,7 @@ Simulator::Simulator(const SystemConfig &config,
     }
 
     llc = std::make_unique<Cache>(llcParams(cfg.cores));
-    dram = std::make_unique<Dram>(dramParams(cfg.bandwidthGBps));
+    dram = std::make_unique<Dram>(dramParams(cfg));
 
     latL1 = l1dParams().latency;
     latL2 = latL1 + l2cParams().latency;
@@ -254,6 +321,14 @@ Simulator::triggerLevel(unsigned core, CacheLevel level,
         cc.levelSlots[level == CacheLevel::kL1D ? 0 : 1];
     if (slots.empty())
         return;
+    // The trigger window owns the DRAM controller queue: every
+    // off-chip prefetch this window generates is enqueued and the
+    // whole window drains in one batched call below. Outside
+    // trigger windows the queue is empty (demand/OCP/store traffic
+    // goes through the scalar serve() shim), so the global request
+    // order is exactly the scalar issue order.
+    assert(dram->pendingRequests() == 0);
+    PrefetchFillBatch batch;
     // Candidate buffer on the stack of the access path: no heap
     // traffic, and the tag-dispatched observe() below is a direct
     // call (see Prefetcher::observe).
@@ -274,15 +349,39 @@ Simulator::triggerLevel(unsigned core, CacheLevel level,
             if (gated)
                 pf.onPrefetchDropped(cand.meta);
             else
-                issuePrefetch(core, slot, cand, pc, cycle);
+                issuePrefetch(core, slot, cand, pc, cycle, batch);
         }
     }
+    if (!batch.empty())
+        drainPrefetchFills(cc, batch);
+}
+
+void
+Simulator::drainPrefetchFills(CoreCtx &cc, PrefetchFillBatch &batch)
+{
+    // One batched service for the whole window: bank/row decoded
+    // once per request, row-hit streaks resolved bank-locally,
+    // counters published per batch (see Dram::drain). Completions
+    // come back index-aligned with the enqueue order, which is
+    // exactly the order entries were pushed.
+    std::span<const Cycle> done = dram->drain();
+    assert(done.size() == batch.count);
+    for (unsigned i = 0; i < batch.count; ++i) {
+        const PrefetchFillBatch::Entry &e = batch.buf[i];
+        const Cycle at = done[i];
+        llc->patchReadyAt(e.llc.base, e.llc.way, e.llc.key, at);
+        cc.l2.patchReadyAt(e.l2.base, e.l2.way, e.l2.key, at);
+        if (e.fillsL1)
+            cc.l1.patchReadyAt(e.l1.base, e.l1.way, e.l1.key, at);
+    }
+    batch.clear();
 }
 
 void
 Simulator::issuePrefetch(unsigned core, unsigned slot,
                          const PrefetchCandidate &cand,
-                         std::uint64_t trigger_pc, Cycle cycle)
+                         std::uint64_t trigger_pc, Cycle cycle,
+                         PrefetchFillBatch &batch)
 {
     CoreCtx &cc = *coreCtxs[core];
     Prefetcher &pf = *cc.prefetchers[slot];
@@ -306,26 +405,41 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
             pf.onPrefetchDropped(cand.meta); // already resident
             return;
         }
+        PrefetchFillBatch::Entry patch{};
         if (cc.l2.touch(l2ref)) {
             ready = cycle + latL2;
         } else if (llc->touch(line)) {
             ready = cycle + latLlc;
         } else {
-            Cycle done =
-                dram->serve(cycle + latLlc, line,
-                            AccessType::kPrefetch);
-            ready = done;
+            // Off-chip: enqueue on the controller queue and fill
+            // every level eagerly with a provisional readyAt — the
+            // real completion cycle is patched in when the trigger
+            // window drains (drainPrefetchFills). Cache state
+            // otherwise evolves exactly as under scalar service:
+            // same probe order, same fills, same victims, same LRU
+            // stamps.
+            if (batch.full())
+                drainPrefetchFills(cc, batch);
+            dram->enqueue(cycle + latLlc, line,
+                          AccessType::kPrefetch);
+            ready = kPendingReady;
             from_dram = true;
-            CacheEviction ev = llc->fill(line, cycle, ready, true,
+            const CacheRef llcref = llc->ref(line);
+            CacheEviction ev = llc->fill(llcref, cycle, ready, true,
                                          kNoFeedbackSlot, 0, true);
+            patch.llc =
+                PrefetchFillBatch::target(llcref, ev.filledWay);
             handleLlcEviction(core, ev);
             if (cc.ocp)
                 cc.ocp->onFill(line);
         }
         // Fill the intermediate L2 on an off-chip prefetch path.
         if (from_dram) {
-            cc.l2.fill(l2ref, cycle, ready, true, kNoFeedbackSlot, 0,
-                       true);
+            CacheEviction l2ev = cc.l2.fill(l2ref, cycle, ready,
+                                            true, kNoFeedbackSlot,
+                                            0, true);
+            patch.l2 =
+                PrefetchFillBatch::target(l2ref, l2ev.filledWay);
         }
         CacheEviction ev =
             cc.l1.fill(l1ref, cycle, ready, true,
@@ -340,6 +454,11 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
             cc.prefetchers[ev.evictedPfSlot]->onPrefetchUseless(
                 ev.evictedPfMeta);
         }
+        if (from_dram) {
+            patch.l1 = PrefetchFillBatch::target(l1ref, ev.filledWay);
+            patch.fillsL1 = true;
+            batch.push(patch);
+        }
     } else { // kL2C
         const CacheRef l2ref = cc.l2.ref(line);
         if (cc.l2.contains(l2ref)) {
@@ -347,16 +466,22 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
             return;
         }
         const CacheRef llcref = llc->ref(line);
+        PrefetchFillBatch::Entry patch{};
         if (llc->touch(llcref)) {
             ready = cycle + latLlc;
         } else {
-            Cycle done =
-                dram->serve(cycle + latLlc, line,
-                            AccessType::kPrefetch);
-            ready = done;
+            // Off-chip: same deferred-completion protocol as the
+            // L1 path above, without the L1 fill.
+            if (batch.full())
+                drainPrefetchFills(cc, batch);
+            dram->enqueue(cycle + latLlc, line,
+                          AccessType::kPrefetch);
+            ready = kPendingReady;
             from_dram = true;
             CacheEviction ev = llc->fill(llcref, cycle, ready, true,
                                          kNoFeedbackSlot, 0, true);
+            patch.llc =
+                PrefetchFillBatch::target(llcref, ev.filledWay);
             handleLlcEviction(core, ev);
             if (cc.ocp)
                 cc.ocp->onFill(line);
@@ -373,6 +498,10 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
                 ++eps.fillsFromDramUnused;
             cc.prefetchers[ev.evictedPfSlot]->onPrefetchUseless(
                 ev.evictedPfMeta);
+        }
+        if (from_dram) {
+            patch.l2 = PrefetchFillBatch::target(l2ref, ev.filledWay);
+            batch.push(patch);
         }
     }
 

@@ -165,6 +165,9 @@ class Simulator
     friend class CoreMemAdapter;
 
     struct CoreCtx;
+    /** Deferred-completion targets of one trigger window's
+     *  DRAM-bound prefetch fills (defined in simulator.cc). */
+    struct PrefetchFillBatch;
 
     // Memory-path internals (called via the per-core adapter).
     Cycle doLoad(unsigned core, std::uint64_t pc, Addr addr,
@@ -177,7 +180,9 @@ class Simulator
                       Cycle cycle);
     void issuePrefetch(unsigned core, unsigned slot,
                        const PrefetchCandidate &cand,
-                       std::uint64_t trigger_pc, Cycle cycle);
+                       std::uint64_t trigger_pc, Cycle cycle,
+                       PrefetchFillBatch &batch);
+    void drainPrefetchFills(CoreCtx &cc, PrefetchFillBatch &batch);
     void handleLlcEviction(unsigned core, const CacheEviction &ev);
     void dispatchPrefetchFeedbackUsed(unsigned core,
                                       const CacheLookup &res,

@@ -91,4 +91,13 @@ dramParams(double bandwidth_gbps)
     return p;
 }
 
+DramParams
+dramParams(const SystemConfig &cfg)
+{
+    DramParams p = dramParams(cfg.bandwidthGBps);
+    p.banks = cfg.dramBanks;
+    p.rowBytes = cfg.dramRowBytes;
+    return p;
+}
+
 } // namespace athena

@@ -54,6 +54,14 @@ struct SystemConfig
 
     // System parameters (Table 5 defaults).
     double bandwidthGBps = 3.2;
+    /**
+     * DRAM geometry (Table 5 defaults). Non-power-of-two values are
+     * fully supported — the controller falls back from the
+     * shift/mask decode to the general division decode — and are
+     * validated by the Dram constructor (release-mode throw).
+     */
+    unsigned dramBanks = 8;
+    std::uint64_t dramRowBytes = 2048;
     Cycle ocpIssueLatency = 6;
     unsigned cores = 1;
     std::uint64_t epochInstructions = 8000;
@@ -75,6 +83,9 @@ CacheParams llcParams(unsigned cores);
 
 /** DRAM parameters of Table 5 at a given bandwidth. */
 DramParams dramParams(double bandwidth_gbps);
+
+/** DRAM parameters from a full SystemConfig (bandwidth + geometry). */
+DramParams dramParams(const SystemConfig &cfg);
 
 } // namespace athena
 

@@ -7,6 +7,9 @@
  */
 
 #include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "mem/dram.hh"
@@ -155,6 +158,124 @@ TEST(Dram, TccdNsParameterRespected)
     Cycle a = d.serve(0, 1, AccessType::kDemandLoad);
     Cycle b = d.serve(0, 2, AccessType::kDemandLoad);
     EXPECT_EQ(b - a, 8u); // 2 ns at 4 GHz
+}
+
+/**
+ * The shift/mask fast decode and the general division decode must
+ * agree wherever both are defined. forceDivisionDecode pins the
+ * general path on the default power-of-two geometry — every
+ * completion and every counter must match the fast path exactly.
+ */
+TEST(Dram, DivisionDecodeMatchesShiftDecodeOnPow2Geometry)
+{
+    DramParams shift = params(3.2);
+    DramParams div = shift;
+    div.forceDivisionDecode = true;
+
+    Dram a(shift);
+    Dram b(div);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    Cycle now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17; // xorshift: deterministic scatter + streaks
+        Addr line = (i % 3 == 0) ? x % (1ull << 28)
+                                 : static_cast<Addr>(i) * 3;
+        auto type = static_cast<AccessType>(x % 4);
+        if (i % 5 == 0)
+            now += x % 300;
+        ASSERT_EQ(a.serve(now, line, type), b.serve(now, line, type))
+            << "request " << i;
+    }
+    EXPECT_EQ(a.lifetime().rowHits, b.lifetime().rowHits);
+    EXPECT_EQ(a.lifetime().rowMisses, b.lifetime().rowMisses);
+    EXPECT_EQ(a.lifetime().busBusyCycles, b.lifetime().busBusyCycles);
+}
+
+/**
+ * Non-power-of-two geometry exercises the division decode for
+ * real: 1536 B rows (24 lines) x 6 banks. Row-hit/miss behaviour
+ * must follow the odd geometry's bank/row mapping.
+ */
+TEST(Dram, NonPow2GeometryRowMapping)
+{
+    DramParams p = params(3.2);
+    p.rowBytes = 1536; // 24 lines per row
+    p.banks = 6;
+    const std::uint64_t lines_per_row = 24;
+
+    // Lines 0..23 live in row 0 of bank 0: one opening miss, then
+    // all row hits.
+    {
+        Dram d(p);
+        for (std::uint64_t i = 0; i < lines_per_row; ++i)
+            d.serve(0, i, AccessType::kDemandLoad);
+        EXPECT_EQ(d.lifetime().rowMisses, 1u);
+        EXPECT_EQ(d.lifetime().rowHits, lines_per_row - 1);
+    }
+    // Line 24 is bank 1 (not a wrap into a new row of bank 0):
+    // alternating between lines 0 and 24 keeps both rows open, so
+    // after the two opening misses everything hits.
+    {
+        Dram d(p);
+        for (int i = 0; i < 10; ++i) {
+            d.serve(0, 0, AccessType::kDemandLoad);
+            d.serve(0, lines_per_row, AccessType::kDemandLoad);
+        }
+        EXPECT_EQ(d.lifetime().rowMisses, 2u);
+        EXPECT_EQ(d.lifetime().rowHits, 18u);
+    }
+    // Lines 0 and 24*6 share bank 0 but different rows: strict
+    // alternation ping-pongs the open row, so every access misses.
+    {
+        Dram d(p);
+        for (int i = 0; i < 10; ++i) {
+            d.serve(0, 0, AccessType::kDemandLoad);
+            d.serve(0, lines_per_row * p.banks,
+                    AccessType::kDemandLoad);
+        }
+        EXPECT_EQ(d.lifetime().rowMisses, 20u);
+        EXPECT_EQ(d.lifetime().rowHits, 0u);
+    }
+}
+
+/**
+ * Release-mode parameter validation: a bad geometry must throw at
+ * construction instead of silently indexing out of the bank array
+ * (the old check was a debug-only assert).
+ */
+TEST(Dram, InvalidParamsThrow)
+{
+    auto with = [](auto mutate) {
+        DramParams p;
+        mutate(p);
+        return p;
+    };
+    EXPECT_THROW(Dram d(with([](DramParams &p) { p.banks = 0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        Dram d(with([](DramParams &p) { p.banks = 33; })),
+        std::invalid_argument);
+    EXPECT_THROW(
+        Dram d(with([](DramParams &p) { p.rowBytes = 0; })),
+        std::invalid_argument);
+    EXPECT_THROW(
+        Dram d(with([](DramParams &p) { p.rowBytes = 100; })),
+        std::invalid_argument);
+    EXPECT_THROW(
+        Dram d(with([](DramParams &p) { p.bandwidthGBps = 0.0; })),
+        std::invalid_argument);
+    EXPECT_THROW(
+        Dram d(with([](DramParams &p) { p.coreGHz = -1.0; })),
+        std::invalid_argument);
+    // The boundary values are valid.
+    EXPECT_NO_THROW(Dram d(with([](DramParams &p) {
+        p.banks = 1;
+        p.rowBytes = 64;
+    })));
+    EXPECT_NO_THROW(
+        Dram d(with([](DramParams &p) { p.banks = 32; })));
 }
 
 /** Property: sustained throughput never exceeds the provisioned

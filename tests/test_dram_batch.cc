@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Batched DRAM service equivalence: the request-queue drain kernel
+ * must be bit-identical to scalar per-request service for every
+ * grouping of the same request stream into batches — completions,
+ * row-hit/miss accounting, per-class counts, bus occupancy, and the
+ * busBacklog()/takeCounters() values observed at batch boundaries.
+ *
+ * The scalar side is pinned twice: once against serve() (the
+ * enqueue+drain-of-1 shim) and once against a reference model
+ * transcribed from the pre-queue scalar implementation, so a bug
+ * that crept into the shared kernel cannot hide by changing both
+ * sides of the A/B at once.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace athena
+{
+namespace
+{
+
+/**
+ * Reference model: a line-for-line transcription of the scalar
+ * Dram::serve as it existed before the request-queue refactor
+ * (always division decode; per-request state and counter updates).
+ */
+class RefDram
+{
+  public:
+    explicit RefDram(const DramParams &p) : cfg(p), banks(p.banks)
+    {
+        lineCycles = static_cast<double>(kLineBytes) /
+                     cfg.bandwidthGBps * cfg.coreGHz;
+        tCycles =
+            static_cast<Cycle>(std::llround(cfg.tNs * cfg.coreGHz));
+        tCcdCycles = static_cast<Cycle>(
+            std::llround(cfg.tCcdNs * cfg.coreGHz));
+        lineOccupancy =
+            static_cast<Cycle>(std::llround(lineCycles));
+    }
+
+    Cycle
+    serve(Cycle arrival, Addr line_num, AccessType type)
+    {
+        const std::uint64_t lines_per_row =
+            cfg.rowBytes / kLineBytes;
+        auto bank = static_cast<unsigned>((line_num / lines_per_row) %
+                                          cfg.banks);
+        Addr row = line_num / (lines_per_row * cfg.banks);
+
+        Bank &b = banks[bank];
+        Cycle bank_free = std::max(arrival, b.busyUntil);
+        Cycle column_ready;
+        if (b.openRow == row) {
+            column_ready = bank_free;
+            b.busyUntil = column_ready + tCcdCycles;
+            ++window.rowHits;
+        } else {
+            column_ready = bank_free + 2 * tCycles;
+            b.openRow = row;
+            b.busyUntil = bank_free + 4 * tCycles;
+            ++window.rowMisses;
+        }
+
+        Cycle transfer_start =
+            std::max(column_ready + tCycles, busNextFree);
+        Cycle done = transfer_start + lineOccupancy;
+        busNextFree = done;
+
+        window.busBusyCycles += lineOccupancy;
+        switch (type) {
+          case AccessType::kDemandLoad:
+          case AccessType::kDemandStore:
+            ++window.demandRequests;
+            break;
+          case AccessType::kPrefetch:
+            ++window.prefetchRequests;
+            break;
+          case AccessType::kOcp:
+            ++window.ocpRequests;
+            break;
+        }
+        return done;
+    }
+
+    Cycle
+    busBacklog(Cycle now) const
+    {
+        return busNextFree > now ? busNextFree - now : 0;
+    }
+
+    const DramCounters &counters() const { return window; }
+
+  private:
+    struct Bank
+    {
+        Cycle busyUntil = 0;
+        Addr openRow = ~0ull;
+    };
+
+    DramParams cfg;
+    double lineCycles;
+    Cycle tCycles;
+    Cycle tCcdCycles;
+    Cycle lineOccupancy = 0;
+    Cycle busNextFree = 0;
+    std::vector<Bank> banks;
+    DramCounters window;
+};
+
+/**
+ * Request streams that stress the drain kernel's interesting
+ * regimes: row-hit streaks, bank conflicts, tied arrivals, and
+ * random class mixes.
+ */
+std::vector<DramRequest>
+makeStream(std::uint64_t seed, std::size_t n)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<DramRequest> reqs;
+    reqs.reserve(n);
+    Cycle now = 0;
+    Addr cursor = rng() % 100000;
+    while (reqs.size() < n) {
+        switch (rng() % 4) {
+          case 0: { // row-hit streak: sequential lines, tied arrival
+            const unsigned burst = 1 + rng() % 8;
+            for (unsigned k = 0; k < burst && reqs.size() < n; ++k) {
+                reqs.push_back({now, cursor++,
+                                static_cast<AccessType>(rng() % 4)});
+            }
+            break;
+          }
+          case 1: { // bank conflict: same bank, different rows
+            const unsigned burst = 1 + rng() % 4;
+            for (unsigned k = 0; k < burst && reqs.size() < n; ++k) {
+                reqs.push_back({now, cursor + k * 4096,
+                                static_cast<AccessType>(rng() % 4)});
+            }
+            break;
+          }
+          case 2: // random scatter
+            reqs.push_back({now, rng() % (1ull << 30),
+                            static_cast<AccessType>(rng() % 4)});
+            cursor = reqs.back().line;
+            break;
+          default: // idle gap, then a request
+            now += rng() % 2000;
+            reqs.push_back({now, cursor + rng() % 64,
+                            static_cast<AccessType>(rng() % 4)});
+            break;
+        }
+        now += rng() % 40; // arrivals tie often but also advance
+    }
+    return reqs;
+}
+
+void
+expectCountersEq(const DramCounters &a, const DramCounters &b)
+{
+    EXPECT_EQ(a.demandRequests, b.demandRequests);
+    EXPECT_EQ(a.prefetchRequests, b.prefetchRequests);
+    EXPECT_EQ(a.ocpRequests, b.ocpRequests);
+    EXPECT_EQ(a.rowHits, b.rowHits);
+    EXPECT_EQ(a.rowMisses, b.rowMisses);
+    EXPECT_EQ(a.busBusyCycles, b.busBusyCycles);
+}
+
+/** serve()-per-request vs enqueue-all + one drain, plus the
+ *  transcription oracle, over several geometries and seeds. */
+TEST(DramBatch, DrainMatchesScalarServeAndReference)
+{
+    std::vector<DramParams> geometries;
+    geometries.push_back(DramParams{}); // Table 5, shift decode
+    {
+        DramParams p;
+        p.forceDivisionDecode = true; // same geometry, general path
+        geometries.push_back(p);
+    }
+    {
+        DramParams p; // odd geometry: 24-line rows, 6 banks
+        p.rowBytes = 1536;
+        p.banks = 6;
+        geometries.push_back(p);
+    }
+    {
+        DramParams p; // high bandwidth: bus nearly non-binding
+        p.bandwidthGBps = 256.0;
+        p.coreGHz = 2.0;
+        geometries.push_back(p);
+    }
+
+    for (const DramParams &p : geometries) {
+        for (std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+            auto reqs = makeStream(seed, 500);
+
+            Dram scalar(p);
+            RefDram ref(p);
+            std::vector<Cycle> scalar_done, ref_done;
+            for (const DramRequest &r : reqs) {
+                scalar_done.push_back(
+                    scalar.serve(r.arrival, r.line, r.type));
+                ref_done.push_back(
+                    ref.serve(r.arrival, r.line, r.type));
+            }
+
+            Dram batched(p);
+            for (const DramRequest &r : reqs)
+                batched.enqueue(r.arrival, r.line, r.type);
+            ASSERT_EQ(batched.pendingRequests(), reqs.size());
+            std::span<const Cycle> done = batched.drain();
+            ASSERT_EQ(done.size(), reqs.size());
+            EXPECT_EQ(batched.pendingRequests(), 0u);
+
+            for (std::size_t i = 0; i < reqs.size(); ++i) {
+                ASSERT_EQ(done[i], scalar_done[i])
+                    << "request " << i << " seed " << seed;
+                ASSERT_EQ(done[i], ref_done[i])
+                    << "request " << i << " seed " << seed;
+            }
+            expectCountersEq(batched.counters(), scalar.counters());
+            expectCountersEq(batched.counters(), ref.counters());
+            EXPECT_EQ(batched.busBacklog(0), scalar.busBacklog(0));
+            EXPECT_EQ(batched.busBacklog(0), ref.busBacklog(0));
+        }
+    }
+}
+
+/** Any chunking of the stream into batches is equivalent, and the
+ *  backlog/counter values sampled at every batch boundary match the
+ *  scalar-serve values at the same stream position (epoch sampling
+ *  and Pythia's reward read exactly these mid-window). */
+TEST(DramBatch, BatchBoundariesPreserveBacklogAndCounters)
+{
+    auto reqs = makeStream(7, 600);
+    std::mt19937_64 chunk_rng(99);
+
+    Dram scalar{DramParams{}};
+    Dram batched{DramParams{}};
+
+    std::size_t i = 0;
+    while (i < reqs.size()) {
+        std::size_t chunk = 1 + chunk_rng() % 16;
+        chunk = std::min(chunk, reqs.size() - i);
+
+        std::vector<Cycle> scalar_done;
+        for (std::size_t k = i; k < i + chunk; ++k) {
+            scalar_done.push_back(scalar.serve(
+                reqs[k].arrival, reqs[k].line, reqs[k].type));
+            batched.enqueue(reqs[k].arrival, reqs[k].line,
+                            reqs[k].type);
+        }
+        std::span<const Cycle> done = batched.drain();
+        ASSERT_EQ(done.size(), chunk);
+        for (std::size_t k = 0; k < chunk; ++k)
+            ASSERT_EQ(done[k], scalar_done[k]) << "at " << i + k;
+
+        // Mid-window observations at the boundary must agree.
+        const Cycle now = reqs[i + chunk - 1].arrival;
+        EXPECT_EQ(batched.busBacklog(now), scalar.busBacklog(now));
+        expectCountersEq(batched.counters(), scalar.counters());
+
+        // Occasionally close an accounting window mid-stream, the
+        // way epoch sampling does.
+        if (chunk_rng() % 4 == 0) {
+            DramCounters a = batched.takeCounters();
+            DramCounters b = scalar.takeCounters();
+            expectCountersEq(a, b);
+            expectCountersEq(batched.counters(), scalar.counters());
+        }
+        i += chunk;
+    }
+    expectCountersEq(batched.lifetime(), scalar.lifetime());
+}
+
+TEST(DramBatch, DrainOnEmptyQueueIsEmpty)
+{
+    Dram d{DramParams{}};
+    EXPECT_EQ(d.pendingRequests(), 0u);
+    EXPECT_TRUE(d.drain().empty());
+    expectCountersEq(d.counters(), DramCounters{});
+}
+
+/** enqueue() is not observable until drain(): backlog and counters
+ *  stay put while requests sit on the queue. */
+TEST(DramBatch, EnqueueAloneIsNotObservable)
+{
+    Dram d{DramParams{}};
+    d.enqueue(0, 0, AccessType::kDemandLoad);
+    d.enqueue(0, 1024, AccessType::kPrefetch);
+    EXPECT_EQ(d.pendingRequests(), 2u);
+    EXPECT_EQ(d.busBacklog(0), 0u);
+    EXPECT_EQ(d.counters().totalRequests(), 0u);
+    EXPECT_FALSE(d.drain().empty());
+    EXPECT_GT(d.busBacklog(0), 0u);
+    EXPECT_EQ(d.counters().totalRequests(), 2u);
+}
+
+/** serve() with requests already pending drains them first, in
+ *  order, and returns the completion of its own request. */
+TEST(DramBatch, ServeDrainsPendingRequestsFirst)
+{
+    DramRequest reqs[] = {
+        {0, 0, AccessType::kPrefetch},
+        {0, 1, AccessType::kPrefetch},
+        {0, 2, AccessType::kDemandLoad},
+    };
+
+    Dram scalar{DramParams{}};
+    Cycle want = 0;
+    for (const DramRequest &r : reqs)
+        want = scalar.serve(r.arrival, r.line, r.type);
+
+    Dram mixed{DramParams{}};
+    mixed.enqueue(reqs[0].arrival, reqs[0].line, reqs[0].type);
+    mixed.enqueue(reqs[1].arrival, reqs[1].line, reqs[1].type);
+    Cycle got =
+        mixed.serve(reqs[2].arrival, reqs[2].line, reqs[2].type);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(mixed.pendingRequests(), 0u);
+    expectCountersEq(mixed.counters(), scalar.counters());
+}
+
+TEST(DramBatch, ResetClearsPendingQueue)
+{
+    Dram d{DramParams{}};
+    d.enqueue(0, 0, AccessType::kDemandLoad);
+    d.enqueue(0, 64, AccessType::kDemandLoad);
+    d.reset();
+    EXPECT_EQ(d.pendingRequests(), 0u);
+    EXPECT_TRUE(d.drain().empty());
+    EXPECT_EQ(d.lifetime().totalRequests(), 0u);
+}
+
+} // namespace
+} // namespace athena
