@@ -6,13 +6,17 @@
  * insert/query (section 5.2 trackers) — plus the simulation
  * engine's own hot path (Cache access/fill, workload generation,
  * and a full Simulator step) so engine-speed regressions show up
- * at component granularity before bench_throughput does.
+ * at component granularity before bench_throughput does. Snapshot
+ * save/restore throughput rides along so checkpoint cost stays
+ * visible as component state grows.
  */
 
 #include <array>
 #include <benchmark/benchmark.h>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "athena/bloom.hh"
@@ -375,6 +379,55 @@ BM_SimulatorInstruction(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * chunk));
 }
 BENCHMARK(BM_SimulatorInstruction)->Unit(benchmark::kMillisecond);
+
+std::string
+snapshotBenchPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void
+BM_SnapshotSave(benchmark::State &state)
+{
+    // Full-state serialization throughput of a warmed single-core
+    // system (every component section + checksums + file write).
+    auto workloads = athena::evalWorkloads();
+    athena::SystemConfig cfg = athena::makeDesignConfig(
+        athena::CacheDesign::kCd1, athena::PolicyKind::kAthena);
+    athena::Simulator sim(cfg, {workloads.front()});
+    sim.run(50000, 0);
+    const std::string path = snapshotBenchPath("bench_save.asnp");
+    for (auto _ : state)
+        sim.snapshot(path);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(std::filesystem::file_size(path)));
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SnapshotRestore(benchmark::State &state)
+{
+    // Resume cost: construct the component tree and restore every
+    // section (mmap read + checksum verify + field loads).
+    auto workloads = athena::evalWorkloads();
+    athena::SystemConfig cfg = athena::makeDesignConfig(
+        athena::CacheDesign::kCd1, athena::PolicyKind::kAthena);
+    athena::Simulator sim(cfg, {workloads.front()});
+    sim.run(50000, 0);
+    const std::string path = snapshotBenchPath("bench_restore.asnp");
+    sim.snapshot(path);
+    for (auto _ : state) {
+        athena::Simulator restored(cfg, {workloads.front()}, path);
+        benchmark::DoNotOptimize(&restored);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(std::filesystem::file_size(path)));
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -130,7 +130,7 @@ main(int argc, char **argv)
         return 1;
     }
     json << "{\n  \"benchmark\": \"bench_trace_replay\",\n"
-         << "  \"sim_instructions\": " << runner.simInstructions
+         << "  \"sim_instructions\": " << runner.budget.simInstructions
          << ",\n  \"traces\": [\n";
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const auto &nr = naive_rows[i];

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "snapshot/snapshot.hh"
+
 namespace athena
 {
 
@@ -157,6 +159,34 @@ AthenaAgent::reset()
     prevAction = 0;
     lastRewardValue = 0.0;
     actionCounts.fill(0);
+}
+
+void
+AthenaAgent::saveState(SnapshotWriter &w) const
+{
+    qvstore.saveState(w);
+    w.u64(rng.rawState());
+    w.boolean(havePrev);
+    writeEpochStats(w, prevStats);
+    w.u32(prevState);
+    w.u32(prevAction);
+    w.f64(lastRewardValue);
+    for (std::uint64_t c : actionCounts)
+        w.u64(c);
+}
+
+void
+AthenaAgent::restoreState(SnapshotReader &r)
+{
+    qvstore.restoreState(r);
+    rng.setRawState(r.u64());
+    havePrev = r.boolean();
+    readEpochStats(r, prevStats);
+    prevState = r.u32();
+    prevAction = r.u32();
+    lastRewardValue = r.f64();
+    for (std::uint64_t &c : actionCounts)
+        c = r.u64();
 }
 
 } // namespace athena

@@ -80,6 +80,11 @@ class AthenaAgent : public CoordinationPolicy
 
     void reset() override;
 
+    /** Snapshot contract: the QVStore, RNG, previous-epoch SARSA
+     *  context, and the action histogram. */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     /**
      * Table 4 accounting: QVStore (2 KB) + two 4096-bit Bloom
      * trackers (0.5 KB each) = 3 KB.

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -54,6 +55,24 @@ BloomFilter::clear()
     for (auto &w : words)
         w = 0;
     inserted = 0;
+}
+
+void
+BloomFilter::saveState(SnapshotWriter &w) const
+{
+    w.u64(words.size());
+    w.u64(inserted);
+    for (std::uint64_t word : words)
+        w.u64(word);
+}
+
+void
+BloomFilter::restoreState(SnapshotReader &r)
+{
+    r.expectU64(words.size(), "bloom filter word count");
+    inserted = r.u64();
+    for (std::uint64_t &word : words)
+        word = r.u64();
 }
 
 double

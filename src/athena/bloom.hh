@@ -18,6 +18,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class BloomFilter
 {
   public:
@@ -49,6 +52,10 @@ class BloomFilter
      * current geometry (used by the Table 4 sizing test).
      */
     double falsePositiveRate(std::uint64_t n) const;
+
+    /** Snapshot contract: bit words + insertion count. */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     /** bit index for hash h of key (mask when bits is pow2). */

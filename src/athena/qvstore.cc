@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -219,6 +220,43 @@ QVStore::reset()
     } else {
         floatEntries.assign(n, per_plane_init);
         fixedEntries.clear();
+    }
+}
+
+void
+QVStore::saveState(SnapshotWriter &w) const
+{
+    w.u32(cfg.planes);
+    w.u32(cfg.rows);
+    w.u32(cfg.actions);
+    w.boolean(cfg.quantized);
+    w.u64(roundState);
+    if (cfg.quantized) {
+        w.bytes(fixedEntries.data(), fixedEntries.size());
+    } else {
+        for (double v : floatEntries)
+            w.f64(v);
+    }
+}
+
+void
+QVStore::restoreState(SnapshotReader &r)
+{
+    r.expectU32(cfg.planes, "QVStore plane count");
+    r.expectU32(cfg.rows, "QVStore row count");
+    r.expectU32(cfg.actions, "QVStore action count");
+    bool quantized = r.boolean();
+    if (quantized != cfg.quantized) {
+        throw SnapshotError(r.currentSection(),
+                            "QVStore storage mode mismatch (wrong "
+                            "geometry)");
+    }
+    roundState = r.u64();
+    if (cfg.quantized) {
+        r.bytes(fixedEntries.data(), fixedEntries.size());
+    } else {
+        for (double &v : floatEntries)
+            v = r.f64();
     }
 }
 

@@ -28,6 +28,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** QVStore geometry and learning configuration. */
 struct QVStoreParams
 {
@@ -101,6 +104,15 @@ class QVStore
                 std::uint32_t s_next, unsigned a_next);
 
     void reset();
+
+    /**
+     * Snapshot contract: geometry guard (planes/rows/actions/
+     * storage mode), entry planes, and the stochastic-rounding
+     * state. The row memo is a pure function of geometry and is
+     * rebuilt lazily, not serialized.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
     const QVStoreParams &params() const { return cfg; }
 

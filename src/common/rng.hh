@@ -96,8 +96,17 @@ class Rng
         return (next() >> 11) < threshold;
     }
 
-    /** Current internal state (for tests of determinism). */
+    /** Current internal state (for tests of determinism and for
+     *  snapshot serialization). */
     std::uint64_t rawState() const { return state; }
+
+    /** Restore a previously observed rawState() (snapshot resume).
+     *  xorshift state is never 0; 0 is remapped like the ctor's. */
+    void
+    setRawState(std::uint64_t s)
+    {
+        state = s ? s : 0x9e3779b97f4a7c15ull;
+    }
 
   private:
     std::uint64_t state;

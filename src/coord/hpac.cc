@@ -5,6 +5,8 @@
 
 #include "coord/hpac.hh"
 
+#include "snapshot/snapshot.hh"
+
 namespace athena
 {
 
@@ -60,6 +62,24 @@ HpacPolicy::reset()
     levels.fill(3); // start in the middle of the range
     ocpOn = true;
     ocpOffEpochs = 0;
+}
+
+void
+HpacPolicy::saveState(SnapshotWriter &w) const
+{
+    for (unsigned l : levels)
+        w.u32(l);
+    w.boolean(ocpOn);
+    w.u32(ocpOffEpochs);
+}
+
+void
+HpacPolicy::restoreState(SnapshotReader &r)
+{
+    for (unsigned &l : levels)
+        l = r.u32();
+    ocpOn = r.boolean();
+    ocpOffEpochs = r.u32();
 }
 
 } // namespace athena

@@ -52,6 +52,9 @@ class HpacPolicy : public CoordinationPolicy
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/snapshot.hh"
+
 namespace athena
 {
 
@@ -84,6 +86,35 @@ MabPolicy::reset()
     }
     current = 0;
     rewardScale = 0.0;
+}
+
+void
+MabPolicy::saveState(SnapshotWriter &w) const
+{
+    w.u64(arms.size());
+    for (const Arm &arm : arms) {
+        w.f64(arm.count);
+        w.f64(arm.sum);
+    }
+    w.u32(current);
+    w.f64(rewardScale);
+}
+
+void
+MabPolicy::restoreState(SnapshotReader &r)
+{
+    r.expectU64(arms.size(), "MAB arm count");
+    for (Arm &arm : arms) {
+        arm.count = r.f64();
+        arm.sum = r.f64();
+    }
+    current = r.u32();
+    if (current >= arms.size()) {
+        throw SnapshotError(r.currentSection(),
+                            "MAB current arm out of range "
+                            "(corrupted snapshot)");
+    }
+    rewardScale = r.f64();
 }
 
 } // namespace athena

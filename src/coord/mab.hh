@@ -47,6 +47,9 @@ class MabPolicy : public CoordinationPolicy
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

@@ -25,6 +25,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Maximum prefetchers per core across the evaluated designs. */
 constexpr unsigned kMaxPrefetchers = 2;
 
@@ -170,6 +173,15 @@ class CoordinationPolicy
     /** Clear learned state. */
     virtual void reset() = 0;
 
+    /**
+     * Snapshot contract: serialize learned state and decision
+     * history so a restored policy decides bit-identically. No-op
+     * defaults cover the stateless fixed policies (naive, all-off,
+     * pf-only, ocp-only); learning policies override both.
+     */
+    virtual void saveState(SnapshotWriter &) const {}
+    virtual void restoreState(SnapshotReader &) {}
+
     /** Metadata budget in bits (Table 8 accounting). */
     virtual std::size_t storageBits() const = 0;
 
@@ -200,6 +212,18 @@ enum class PolicyKind : std::uint8_t
 };
 
 const char *policyKindName(PolicyKind kind);
+
+/**
+ * Serialize / restore an EpochStats block (fixed field order).
+ * Shared by the simulator's epoch-window section and policies that
+ * keep a previous-epoch copy (the Athena agent).
+ */
+void writeEpochStats(SnapshotWriter &w, const EpochStats &s);
+void readEpochStats(SnapshotReader &r, EpochStats &s);
+
+/** Serialize / restore a CoordDecision (fixed field order). */
+void writeCoordDecision(SnapshotWriter &w, const CoordDecision &d);
+void readCoordDecision(SnapshotReader &r, CoordDecision &d);
 
 } // namespace athena
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -78,6 +79,26 @@ TlpPolicy::reset()
             w = SignedSatCounter<6>{};
     }
     lastPcsHash = 0;
+}
+
+void
+TlpPolicy::saveState(SnapshotWriter &w) const
+{
+    for (const auto &table : weights) {
+        for (const SignedSatCounter<6> &c : table)
+            w.i32(c.raw());
+    }
+    w.u64(lastPcsHash);
+}
+
+void
+TlpPolicy::restoreState(SnapshotReader &r)
+{
+    for (auto &table : weights) {
+        for (SignedSatCounter<6> &c : table)
+            c = SignedSatCounter<6>(r.i32());
+    }
+    lastPcsHash = r.u64();
 }
 
 } // namespace athena

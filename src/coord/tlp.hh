@@ -48,6 +48,9 @@ class TlpPolicy : public CoordinationPolicy
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

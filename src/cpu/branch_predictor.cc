@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "snapshot/snapshot.hh"
+
 namespace athena
 {
 
@@ -31,6 +33,26 @@ BranchPredictor::reset()
     history = 0;
     std::fill(table.begin(), table.end(), kWeaklyTaken);
     statLookups = statMispredicts = 0;
+}
+
+void
+BranchPredictor::saveState(SnapshotWriter &w) const
+{
+    w.u64(table.size());
+    w.u64(history);
+    w.u64(statLookups);
+    w.u64(statMispredicts);
+    w.bytes(table.data(), table.size());
+}
+
+void
+BranchPredictor::restoreState(SnapshotReader &r)
+{
+    r.expectU64(table.size(), "branch predictor PHT size");
+    history = r.u64();
+    statLookups = r.u64();
+    statMispredicts = r.u64();
+    r.bytes(table.data(), table.size());
 }
 
 } // namespace athena

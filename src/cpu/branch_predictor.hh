@@ -26,6 +26,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class BranchPredictor
 {
   public:
@@ -61,6 +64,10 @@ class BranchPredictor
     }
 
     void reset();
+
+    /** Snapshot contract: PHT, global history and stats. */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
     std::uint64_t statLookups = 0;
     std::uint64_t statMispredicts = 0;

@@ -19,6 +19,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "snapshot/snapshot.hh"
+
 namespace athena
 {
 
@@ -289,6 +291,86 @@ CoreModel::reset()
     batchLen = 0;
     streamDone = false;
     stats = CoreCounters{};
+}
+
+void
+CoreModel::saveState(SnapshotWriter &w) const
+{
+    w.u32(cfg.robSize);
+    w.u32(cfg.l1Mshrs);
+    w.u64(dispatchCycle);
+    w.u32(dispatchSlots);
+    w.u32(robHead);
+    w.u32(robCount);
+    w.u64(lastRetireCycle);
+    w.u32(retireSlots);
+    w.u32(mshrCount);
+    w.u64(prevLoadComplete);
+    w.u64(frontier);
+    w.u64(stats.instructions);
+    w.u64(stats.loads);
+    w.u64(stats.stores);
+    w.u64(stats.branches);
+    w.u64(stats.branchMispredicts);
+    for (Cycle c : arena)
+        w.u64(c);
+    w.u32(batchPos);
+    w.u32(batchLen);
+    w.boolean(streamDone);
+    // Buffered records that have been pulled from the generator but
+    // not yet executed: the generator's cursor is already past them,
+    // so they must travel with the core.
+    for (unsigned i = batchPos; i < batchLen; ++i) {
+        const TraceRecord &rec = batchBuf[i];
+        w.u64(rec.pc);
+        w.u64(rec.addr);
+        w.u8(static_cast<std::uint8_t>(rec.kind));
+        w.boolean(rec.taken);
+        w.boolean(rec.dependsOnPrevLoad);
+        w.boolean(rec.criticalConsumer);
+    }
+    branchPredictor.saveState(w);
+}
+
+void
+CoreModel::restoreState(SnapshotReader &r)
+{
+    r.expectU32(cfg.robSize, "core ROB size");
+    r.expectU32(cfg.l1Mshrs, "core MSHR count");
+    dispatchCycle = r.u64();
+    dispatchSlots = r.u32();
+    robHead = r.u32();
+    robCount = r.u32();
+    lastRetireCycle = r.u64();
+    retireSlots = r.u32();
+    mshrCount = r.u32();
+    prevLoadComplete = r.u64();
+    frontier = r.u64();
+    stats.instructions = r.u64();
+    stats.loads = r.u64();
+    stats.stores = r.u64();
+    stats.branches = r.u64();
+    stats.branchMispredicts = r.u64();
+    for (Cycle &c : arena)
+        c = r.u64();
+    batchPos = r.u32();
+    batchLen = r.u32();
+    if (batchLen > kBatchCapacity || batchPos > batchLen) {
+        throw SnapshotError(r.currentSection(),
+                            "core batch cursors out of range "
+                            "(corrupted snapshot)");
+    }
+    streamDone = r.boolean();
+    for (unsigned i = batchPos; i < batchLen; ++i) {
+        TraceRecord &rec = batchBuf[i];
+        rec.pc = r.u64();
+        rec.addr = r.u64();
+        rec.kind = static_cast<InstrKind>(r.u8());
+        rec.taken = r.boolean();
+        rec.dependsOnPrevLoad = r.boolean();
+        rec.criticalConsumer = r.boolean();
+    }
+    branchPredictor.restoreState(r);
 }
 
 } // namespace athena

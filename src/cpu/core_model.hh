@@ -47,6 +47,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * Interface the core uses to access the memory hierarchy. The
  * concrete implementation (sim::MemorySystem) runs caches,
@@ -160,6 +163,16 @@ class CoreModel
     }
 
     void reset();
+
+    /**
+     * Snapshot contract: geometry guard (robSize, l1Mshrs), the
+     * pipeline cursors, the ROB/MSHR arena, the buffered (not yet
+     * executed) trace records, the end-of-stream latch, counters,
+     * and the nested branch predictor. The workload generator's
+     * own cursor state is serialized separately by the simulator.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     /** Workload records pulled per nextBatch() refill (~8 KB). */

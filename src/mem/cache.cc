@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "snapshot/snapshot.hh"
+
 namespace athena
 {
 
@@ -168,6 +170,54 @@ Cache::reset()
     lruClock = 0;
     statHits = statMisses = 0;
     statPrefetchFills = statUnusedPrefetchEvictions = 0;
+}
+
+void
+Cache::saveState(SnapshotWriter &w) const
+{
+    w.u32(sets);
+    w.u32(cfg.ways);
+    w.u64(lruClock);
+    w.u64(statHits);
+    w.u64(statMisses);
+    w.u64(statPrefetchFills);
+    w.u64(statUnusedPrefetchEvictions);
+    for (std::uint64_t t : tagv)
+        w.u64(t);
+    for (std::uint64_t s : lru)
+        w.u64(s);
+    w.bytes(mruWay.data(), mruWay.size());
+    for (const Line &line : lines) {
+        w.boolean(line.prefetched);
+        w.boolean(line.pfFromDram);
+        w.u8(line.pfSlot);
+        w.u64(line.pfMeta);
+        w.u64(line.readyAt);
+    }
+}
+
+void
+Cache::restoreState(SnapshotReader &r)
+{
+    r.expectU32(sets, "cache set count");
+    r.expectU32(cfg.ways, "cache way count");
+    lruClock = r.u64();
+    statHits = r.u64();
+    statMisses = r.u64();
+    statPrefetchFills = r.u64();
+    statUnusedPrefetchEvictions = r.u64();
+    for (std::uint64_t &t : tagv)
+        t = r.u64();
+    for (std::uint64_t &s : lru)
+        s = r.u64();
+    r.bytes(mruWay.data(), mruWay.size());
+    for (Line &line : lines) {
+        line.prefetched = r.boolean();
+        line.pfFromDram = r.boolean();
+        line.pfSlot = r.u8();
+        line.pfMeta = r.u64();
+        line.readyAt = r.u64();
+    }
 }
 
 } // namespace athena

@@ -24,6 +24,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Static configuration of one cache level. */
 struct CacheParams
 {
@@ -207,6 +210,14 @@ class Cache
 
     /** Drop all contents. */
     void reset();
+
+    /**
+     * Snapshot contract: geometry guard (sets, ways) followed by
+     * the full array state — tags, LRU stamps, MRU hints, per-line
+     * prefetch attribution and readyAt — plus the stat counters.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
     const CacheParams &params() const { return cfg; }
     unsigned numSets() const { return sets; }

@@ -13,8 +13,37 @@
 #include <stdexcept>
 #include <string>
 
+#include "snapshot/snapshot.hh"
+
 namespace athena
 {
+
+namespace
+{
+
+void
+writeDramCounters(SnapshotWriter &w, const DramCounters &c)
+{
+    w.u64(c.demandRequests);
+    w.u64(c.prefetchRequests);
+    w.u64(c.ocpRequests);
+    w.u64(c.rowHits);
+    w.u64(c.rowMisses);
+    w.u64(c.busBusyCycles);
+}
+
+void
+readDramCounters(SnapshotReader &r, DramCounters &c)
+{
+    c.demandRequests = r.u64();
+    c.prefetchRequests = r.u64();
+    c.ocpRequests = r.u64();
+    c.rowHits = r.u64();
+    c.rowMisses = r.u64();
+    c.busBusyCycles = r.u64();
+}
+
+} // namespace
 
 Dram::Dram(const DramParams &params) : cfg(params)
 {
@@ -275,6 +304,37 @@ Dram::reset()
         b = Bank{};
     window = DramCounters{};
     total = DramCounters{};
+    qSize = 0;
+}
+
+void
+Dram::saveState(SnapshotWriter &w) const
+{
+    if (qSize != 0) {
+        throw SnapshotError("dram", "controller queue not empty at "
+                                    "snapshot point");
+    }
+    w.u32(bankCount);
+    w.u64(busNextFree);
+    for (unsigned b = 0; b < bankCount; ++b) {
+        w.u64(bankState[b].busyUntil);
+        w.u64(bankState[b].openRow);
+    }
+    writeDramCounters(w, window);
+    writeDramCounters(w, total);
+}
+
+void
+Dram::restoreState(SnapshotReader &r)
+{
+    r.expectU32(bankCount, "DRAM bank count");
+    busNextFree = r.u64();
+    for (unsigned b = 0; b < bankCount; ++b) {
+        bankState[b].busyUntil = r.u64();
+        bankState[b].openRow = r.u64();
+    }
+    readDramCounters(r, window);
+    readDramCounters(r, total);
     qSize = 0;
 }
 

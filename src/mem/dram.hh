@@ -37,6 +37,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** DRAM configuration. */
 struct DramParams
 {
@@ -199,6 +202,16 @@ class Dram
 
     /** Clear bank/bus/counter state and any pending requests. */
     void reset();
+
+    /**
+     * Snapshot contract: bus cursor, per-bank open-row/busy state
+     * and both counter windows. The controller queue must be empty
+     * (snapshots are taken at instruction boundaries, where every
+     * trigger window has drained); save throws SnapshotError
+     * otherwise and restore leaves the queue empty.
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
     const DramParams &params() const { return cfg; }
 

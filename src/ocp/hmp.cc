@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -89,6 +90,36 @@ HmpPredictor::reset()
             c = SatCounter<2>(0);
     }
     globalHistory = 0;
+}
+
+void
+HmpPredictor::saveState(SnapshotWriter &w) const
+{
+    w.bytes(localHistory.data(), localHistory.size());
+    for (const SatCounter<2> &c : localPht)
+        w.u16(c.raw());
+    for (const SatCounter<2> &c : gsharePht)
+        w.u16(c.raw());
+    for (const auto &t : gskewPht) {
+        for (const SatCounter<2> &c : t)
+            w.u16(c.raw());
+    }
+    w.u64(globalHistory);
+}
+
+void
+HmpPredictor::restoreState(SnapshotReader &r)
+{
+    r.bytes(localHistory.data(), localHistory.size());
+    for (SatCounter<2> &c : localPht)
+        c = SatCounter<2>(r.u16());
+    for (SatCounter<2> &c : gsharePht)
+        c = SatCounter<2>(r.u16());
+    for (auto &t : gskewPht) {
+        for (SatCounter<2> &c : t)
+            c = SatCounter<2>(r.u16());
+    }
+    globalHistory = r.u64();
 }
 
 } // namespace athena

@@ -34,6 +34,9 @@ class HmpPredictor final : public OffChipPredictor
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

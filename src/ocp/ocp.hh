@@ -25,6 +25,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Known OCP kinds, for factory construction and tag dispatch. */
 enum class OcpKind : std::uint8_t
 {
@@ -74,6 +77,15 @@ class OffChipPredictor
     virtual void onEvict(Addr line_num) { (void)line_num; }
 
     virtual void reset() = 0;
+
+    /**
+     * Snapshot contract: serialize learned tables and history so a
+     * restored predictor continues bit-identically. No-op defaults
+     * for stateless external subclasses; every built-in kind
+     * overrides both.
+     */
+    virtual void saveState(SnapshotWriter &) const {}
+    virtual void restoreState(SnapshotReader &) {}
 
     /** Metadata budget in bits (Table 8 accounting). */
     virtual std::size_t storageBits() const = 0;

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -120,6 +121,30 @@ PopetPredictor::reset()
             w = SignedSatCounter<6>{};
     }
     lastPcsHash = 0;
+    memoValid = false;
+    pcMemo.fill(PcMemoEntry{});
+    memoPage = ~0ull;
+    memoPageIdx = 0;
+}
+
+void
+PopetPredictor::saveState(SnapshotWriter &w) const
+{
+    for (const auto &table : weights) {
+        for (const SignedSatCounter<6> &c : table)
+            w.i32(c.raw());
+    }
+    w.u64(lastPcsHash);
+}
+
+void
+PopetPredictor::restoreState(SnapshotReader &r)
+{
+    for (auto &table : weights) {
+        for (SignedSatCounter<6> &c : table)
+            c = SignedSatCounter<6>(r.i32());
+    }
+    lastPcsHash = r.u64();
     memoValid = false;
     pcMemo.fill(PcMemoEntry{});
     memoPage = ~0ull;

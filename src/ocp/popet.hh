@@ -37,6 +37,13 @@ class PopetPredictor final : public OffChipPredictor
 
     void reset() override;
 
+    /** Snapshot contract: weight tables + PC-history hash. The
+     *  pc/page/one-deep memos are pure caches and are cleared on
+     *  restore (every train is paired with a same-access predict,
+     *  so the fallback path is bit-identical). */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -69,6 +70,26 @@ TtpPredictor::reset()
 {
     for (auto &e : entries)
         e = Entry{};
+}
+
+void
+TtpPredictor::saveState(SnapshotWriter &w) const
+{
+    w.u64(entries.size());
+    for (const Entry &e : entries) {
+        w.u16(e.tag);
+        w.boolean(e.valid);
+    }
+}
+
+void
+TtpPredictor::restoreState(SnapshotReader &r)
+{
+    r.expectU64(entries.size(), "TTP shadow tag count");
+    for (Entry &e : entries) {
+        e.tag = r.u16();
+        e.valid = r.boolean();
+    }
 }
 
 } // namespace athena

@@ -40,6 +40,9 @@ class TtpPredictor final : public OffChipPredictor
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

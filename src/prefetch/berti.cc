@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -108,6 +109,54 @@ BertiPrefetcher::reset()
 {
     for (auto &e : table)
         e = IpEntry{};
+}
+
+void
+BertiPrefetcher::saveState(SnapshotWriter &w) const
+{
+    Prefetcher::saveState(w);
+    for (const IpEntry &e : table) {
+        w.u16(e.tag);
+        w.boolean(e.valid);
+        for (const HistEntry &h : e.hist) {
+            w.u64(h.line);
+            w.u64(h.cycle);
+            w.boolean(h.valid);
+        }
+        w.u32(e.histHead);
+        for (const DeltaScore &s : e.scores) {
+            w.i32(s.delta);
+            w.u32(s.score);
+        }
+        w.u32(e.accessesThisRound);
+        for (std::int32_t d : e.active)
+            w.i32(d);
+        w.u32(e.activeCount);
+    }
+}
+
+void
+BertiPrefetcher::restoreState(SnapshotReader &r)
+{
+    Prefetcher::restoreState(r);
+    for (IpEntry &e : table) {
+        e.tag = r.u16();
+        e.valid = r.boolean();
+        for (HistEntry &h : e.hist) {
+            h.line = r.u64();
+            h.cycle = r.u64();
+            h.valid = r.boolean();
+        }
+        e.histHead = r.u32();
+        for (DeltaScore &s : e.scores) {
+            s.delta = r.i32();
+            s.score = r.u32();
+        }
+        e.accessesThisRound = r.u32();
+        for (std::int32_t &d : e.active)
+            d = r.i32();
+        e.activeCount = r.u32();
+    }
 }
 
 } // namespace athena

@@ -38,6 +38,9 @@ class BertiPrefetcher final : public Prefetcher
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

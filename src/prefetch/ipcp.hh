@@ -42,6 +42,9 @@ class IpcpPrefetcher final : public Prefetcher
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

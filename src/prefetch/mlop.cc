@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -99,6 +100,44 @@ MlopPrefetcher::reset()
     activeCount = 0;
     roundAccesses = 0;
     lruClock = 0;
+}
+
+void
+MlopPrefetcher::saveState(SnapshotWriter &w) const
+{
+    Prefetcher::saveState(w);
+    for (const AmtEntry &e : amt) {
+        w.u64(e.pageTag);
+        w.boolean(e.valid);
+        w.u64(e.bitmap);
+        w.u64(e.lruStamp);
+    }
+    for (unsigned s : scores)
+        w.u32(s);
+    for (int a : active)
+        w.i32(a);
+    w.u32(activeCount);
+    w.u32(roundAccesses);
+    w.u64(lruClock);
+}
+
+void
+MlopPrefetcher::restoreState(SnapshotReader &r)
+{
+    Prefetcher::restoreState(r);
+    for (AmtEntry &e : amt) {
+        e.pageTag = r.u64();
+        e.valid = r.boolean();
+        e.bitmap = r.u64();
+        e.lruStamp = r.u64();
+    }
+    for (unsigned &s : scores)
+        s = r.u32();
+    for (int &a : active)
+        a = r.i32();
+    activeCount = r.u32();
+    roundAccesses = r.u32();
+    lruClock = r.u64();
 }
 
 } // namespace athena

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "snapshot/snapshot.hh"
+
 #include "prefetch/berti.hh"
 #include "prefetch/ipcp.hh"
 #include "prefetch/mlop.hh"
@@ -64,6 +66,18 @@ Prefetcher::observe(const PrefetchTrigger &trigger, CandidateVec &out)
     }
     // Unknown tag (external subclass): virtual fallback.
     observeImpl(trigger, out);
+}
+
+void
+Prefetcher::saveState(SnapshotWriter &w) const
+{
+    w.u32(currentDegree);
+}
+
+void
+Prefetcher::restoreState(SnapshotReader &r)
+{
+    setDegree(r.u32());
 }
 
 const char *

@@ -25,6 +25,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * One prefetch candidate emitted by a prefetcher. Deliberately
  * trivial (no default member initializers): CandidateVec keeps an
@@ -205,6 +208,14 @@ class Prefetcher
     {
         currentDegree = d > maxDeg ? maxDeg : d;
     }
+
+    /**
+     * Snapshot contract: the base serializes the throttled degree;
+     * stateful prefetchers override both and call the base first,
+     * so save/restore orders stay mirrored.
+     */
+    virtual void saveState(SnapshotWriter &w) const;
+    virtual void restoreState(SnapshotReader &r);
 
   private:
     unsigned maxDeg;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -264,6 +265,71 @@ PythiaPrefetcher::reset()
     highBandwidth = false;
     seqMemo.fill(SeqMemoEntry{});
     histKey = 0;
+}
+
+void
+PythiaPrefetcher::saveState(SnapshotWriter &w) const
+{
+    Prefetcher::saveState(w);
+    for (const auto &row : plane1) {
+        for (double v : row)
+            w.f64(v);
+    }
+    for (const auto &row : plane2) {
+        for (double v : row)
+            w.f64(v);
+    }
+    for (const EqEntry &e : eqBuf) {
+        w.u64(e.f1);
+        w.u64(e.f2);
+        w.u32(e.action);
+        w.boolean(e.rewarded);
+        w.boolean(e.dropped);
+        w.f64(e.reward);
+    }
+    w.u32(eqHead);
+    w.u32(eqCount);
+    w.u64(eqBase);
+    w.u64(lastLine);
+    for (int d : deltaHistory)
+        w.i32(d);
+    w.boolean(highBandwidth);
+    w.u64(rng.rawState());
+    w.u32(histKey);
+}
+
+void
+PythiaPrefetcher::restoreState(SnapshotReader &r)
+{
+    Prefetcher::restoreState(r);
+    for (auto &row : plane1) {
+        for (double &v : row)
+            v = r.f64();
+    }
+    for (auto &row : plane2) {
+        for (double &v : row)
+            v = r.f64();
+    }
+    for (EqEntry &e : eqBuf) {
+        e.f1 = r.u64();
+        e.f2 = r.u64();
+        e.action = r.u32();
+        e.rewarded = r.boolean();
+        e.dropped = r.boolean();
+        e.reward = r.f64();
+    }
+    eqHead = r.u32();
+    eqCount = r.u32();
+    eqBase = r.u64();
+    lastLine = r.u64();
+    for (int &d : deltaHistory)
+        d = r.i32();
+    highBandwidth = r.boolean();
+    rng.setRawState(r.u64());
+    histKey = r.u32();
+    // The memo is keyed by histKey and rebuilt lazily; clear it so
+    // stale pre-restore entries cannot alias.
+    seqMemo.fill(SeqMemoEntry{});
 }
 
 } // namespace athena

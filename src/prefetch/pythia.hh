@@ -49,6 +49,12 @@ class PythiaPrefetcher final : public Prefetcher
 
     void reset() override;
 
+    /** Snapshot contract: Q planes, the EQ ring, the feature
+     *  history and RNG. The delta-sequence memo is pure and is
+     *  rebuilt on demand; epsilonThreshold is a constant. */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

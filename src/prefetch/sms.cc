@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -84,6 +85,44 @@ SmsPrefetcher::reset()
     for (auto &e : pht)
         e = PhtEntry{};
     lruClock = 0;
+}
+
+void
+SmsPrefetcher::saveState(SnapshotWriter &w) const
+{
+    Prefetcher::saveState(w);
+    for (const AgtEntry &e : agt) {
+        w.u64(e.region);
+        w.boolean(e.valid);
+        w.u64(e.key);
+        w.u64(e.bitmap);
+        w.u64(e.lruStamp);
+    }
+    for (const PhtEntry &e : pht) {
+        w.u16(e.tag);
+        w.boolean(e.valid);
+        w.u64(e.bitmap);
+    }
+    w.u64(lruClock);
+}
+
+void
+SmsPrefetcher::restoreState(SnapshotReader &r)
+{
+    Prefetcher::restoreState(r);
+    for (AgtEntry &e : agt) {
+        e.region = r.u64();
+        e.valid = r.boolean();
+        e.key = r.u64();
+        e.bitmap = r.u64();
+        e.lruStamp = r.u64();
+    }
+    for (PhtEntry &e : pht) {
+        e.tag = r.u16();
+        e.valid = r.boolean();
+        e.bitmap = r.u64();
+    }
+    lruClock = r.u64();
 }
 
 } // namespace athena

@@ -37,6 +37,9 @@ class SmsPrefetcher final : public Prefetcher
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -171,6 +172,64 @@ SppPpfPrefetcher::reset()
     for (auto &r : ring)
         r = Record{};
     ringHead = 0;
+}
+
+void
+SppPpfPrefetcher::saveState(SnapshotWriter &w) const
+{
+    Prefetcher::saveState(w);
+    for (const StEntry &e : st) {
+        w.u64(e.pageTag);
+        w.boolean(e.valid);
+        w.u32(e.lastOffset);
+        w.u16(e.signature);
+    }
+    for (const PtEntry &e : pt) {
+        for (const PtDelta &d : e.deltas) {
+            w.u8(static_cast<std::uint8_t>(d.delta));
+            w.u8(d.count);
+        }
+        w.u8(e.sigCount);
+    }
+    for (const auto &table : ppf) {
+        for (const SignedSatCounter<6> &c : table)
+            w.i32(c.raw());
+    }
+    for (const Record &rec : ring) {
+        for (std::uint16_t idx : rec.featureIdx)
+            w.u16(idx);
+        w.boolean(rec.open);
+    }
+    w.u64(ringHead);
+}
+
+void
+SppPpfPrefetcher::restoreState(SnapshotReader &r)
+{
+    Prefetcher::restoreState(r);
+    for (StEntry &e : st) {
+        e.pageTag = r.u64();
+        e.valid = r.boolean();
+        e.lastOffset = r.u32();
+        e.signature = r.u16();
+    }
+    for (PtEntry &e : pt) {
+        for (PtDelta &d : e.deltas) {
+            d.delta = static_cast<std::int8_t>(r.u8());
+            d.count = r.u8();
+        }
+        e.sigCount = r.u8();
+    }
+    for (auto &table : ppf) {
+        for (SignedSatCounter<6> &c : table)
+            c = SignedSatCounter<6>(r.i32());
+    }
+    for (Record &rec : ring) {
+        for (std::uint16_t &idx : rec.featureIdx)
+            idx = r.u16();
+        rec.open = r.boolean();
+    }
+    ringHead = r.u64();
 }
 
 } // namespace athena

@@ -45,6 +45,9 @@ class SppPpfPrefetcher final : public Prefetcher
 
     void reset() override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     std::size_t
     storageBits() const override
     {

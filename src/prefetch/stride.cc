@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -58,6 +59,32 @@ StridePrefetcher::reset()
 {
     for (auto &e : table)
         e = Entry{};
+}
+
+void
+StridePrefetcher::saveState(SnapshotWriter &w) const
+{
+    Prefetcher::saveState(w);
+    for (const Entry &e : table) {
+        w.u64(e.tag);
+        w.u64(e.lastLine);
+        w.i64(e.stride);
+        w.u16(e.conf.raw());
+        w.boolean(e.valid);
+    }
+}
+
+void
+StridePrefetcher::restoreState(SnapshotReader &r)
+{
+    Prefetcher::restoreState(r);
+    for (Entry &e : table) {
+        e.tag = r.u64();
+        e.lastLine = r.u64();
+        e.stride = r.i64();
+        e.conf = SatCounter<2>(r.u16());
+        e.valid = r.boolean();
+    }
 }
 
 } // namespace athena

@@ -5,10 +5,12 @@
 
 #include "sim/runner.hh"
 
-#include <cmath>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -16,6 +18,7 @@
 
 #include "common/stats.hh"
 #include "sim/thread_pool.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -32,10 +35,21 @@ envOr(const char *name, std::uint64_t fallback)
     return std::strtoull(v, nullptr, 10);
 }
 
-long
-bandwidthKey(double gbps)
+/** Warmup-snapshot cache directory ("" = caching disabled). */
+std::string
+snapshotDir()
 {
-    return std::lround(gbps * 100.0);
+    const char *v = std::getenv("ATHENA_SNAPSHOT_DIR");
+    return v && *v ? v : "";
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
 }
 
 } // namespace
@@ -46,36 +60,92 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     ThreadPool::instance().run(n, fn);
 }
 
-ExperimentRunner::ExperimentRunner()
+RunBudget
+RunBudget::fromEnv()
 {
-    simInstructions = envOr("ATHENA_SIM_INSTR", 800000);
-    warmupInstructions = envOr("ATHENA_WARMUP_INSTR", 200000);
-    mcSimInstructions = envOr("ATHENA_MC_INSTR", 250000);
-    mcWarmupInstructions = envOr("ATHENA_MC_WARMUP", 60000);
+    RunBudget b;
+    b.simInstructions = envOr("ATHENA_SIM_INSTR", b.simInstructions);
+    b.warmupInstructions =
+        envOr("ATHENA_WARMUP_INSTR", b.warmupInstructions);
+    b.mcSimInstructions =
+        envOr("ATHENA_MC_INSTR", b.mcSimInstructions);
+    b.mcWarmupInstructions =
+        envOr("ATHENA_MC_WARMUP", b.mcWarmupInstructions);
+    return b;
 }
+
+ExperimentRunner::ExperimentRunner(const RunBudget &run_budget)
+    : budget(run_budget)
+{}
 
 SimResult
 ExperimentRunner::runOne(const SystemConfig &config,
                          const WorkloadSpec &spec) const
 {
+    const std::uint64_t warm = budget.warmupInstructions;
+    const std::string dir = snapshotDir();
+    if (!dir.empty() && warm > 0) {
+        // Warmup-snapshot cache: keyed strictly by content — the
+        // config hash, the workload spec hash, and the warmup
+        // length — so a hit is guaranteed to be the exact state a
+        // fresh run would reach at its warmup boundary.
+        const std::string path =
+            dir + "/" + hex64(config.configKey()) + "-" +
+            hex64(workloadKey(spec)) + "-" + std::to_string(warm) +
+            ".asnp";
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec)) {
+            try {
+                Simulator sim(config, {spec}, path);
+                RunPlan plan;
+                plan.measured = budget.simInstructions;
+                plan.warmup = warm;
+                return sim.run(plan);
+            } catch (const SnapshotError &) {
+                // Stale or corrupt cache entry (e.g. written by an
+                // older format version): fall through to a fresh
+                // run, which overwrites it.
+            }
+        }
+        Simulator sim(config, {spec});
+        warmupSimulated.fetch_add(warm, std::memory_order_relaxed);
+        // Write-to-temp + atomic rename so concurrent sweep workers
+        // never observe (or resume from) a half-written snapshot.
+        static std::atomic<std::uint64_t> tmpSeq{0};
+        const std::string tmp =
+            path + ".tmp" +
+            std::to_string(
+                tmpSeq.fetch_add(1, std::memory_order_relaxed));
+        RunPlan plan;
+        plan.measured = budget.simInstructions;
+        plan.warmup = warm;
+        plan.snapshotAfterWarmup = tmp;
+        SimResult res = sim.run(plan);
+        std::rename(tmp.c_str(), path.c_str());
+        return res;
+    }
+
     Simulator sim(config, {spec});
-    return sim.run(simInstructions, warmupInstructions);
+    warmupSimulated.fetch_add(warm, std::memory_order_relaxed);
+    RunPlan plan;
+    plan.measured = budget.simInstructions;
+    plan.warmup = warm;
+    return sim.run(plan);
 }
 
 double
 ExperimentRunner::baselineIpc(const SystemConfig &config,
                               const WorkloadSpec &spec)
 {
-    auto key = std::make_pair(spec.name,
-                              bandwidthKey(config.bandwidthGBps));
+    SystemConfig base = config;
+    base.policy = PolicyKind::kAllOff;
+    auto key = std::make_pair(workloadKey(spec), base.configKey());
     {
         std::shared_lock<std::shared_mutex> lock(cacheMutex);
         auto it = baselineCache.find(key);
         if (it != baselineCache.end())
             return it->second;
     }
-    SystemConfig base = config;
-    base.policy = PolicyKind::kAllOff;
     double ipc = runOne(base, spec).ipc();
     std::unique_lock<std::shared_mutex> lock(cacheMutex);
     baselineCache[key] = ipc;
@@ -119,16 +189,15 @@ std::set<std::string>
 ExperimentRunner::adverseSet(const SystemConfig &base_config,
                              const std::vector<WorkloadSpec> &specs)
 {
-    auto key = std::make_pair(base_config.label,
-                              bandwidthKey(base_config.bandwidthGBps));
+    SystemConfig pf_only = base_config;
+    pf_only.policy = PolicyKind::kPfOnly;
+    std::uint64_t key = pf_only.configKey();
     {
         std::shared_lock<std::shared_mutex> lock(cacheMutex);
         auto it = adverseCache.find(key);
         if (it != adverseCache.end())
             return it->second;
     }
-    SystemConfig pf_only = base_config;
-    pf_only.policy = PolicyKind::kPfOnly;
     auto rows = speedups(pf_only, specs);
     std::set<std::string> adverse;
     for (const auto &row : rows) {
@@ -188,11 +257,12 @@ ExperimentRunner::mixSpeedup(const SystemConfig &config,
     base.policy = PolicyKind::kAllOff;
 
     Simulator base_sim(base, mix_specs);
-    SimResult base_res =
-        base_sim.run(mcSimInstructions, mcWarmupInstructions);
+    SimResult base_res = base_sim.run(budget.mcSimInstructions,
+                                      budget.mcWarmupInstructions);
 
     Simulator sim(config, mix_specs);
-    SimResult res = sim.run(mcSimInstructions, mcWarmupInstructions);
+    SimResult res = sim.run(budget.mcSimInstructions,
+                            budget.mcWarmupInstructions);
 
     std::vector<double> per_core;
     for (std::size_t c = 0; c < res.cores.size(); ++c) {

@@ -5,17 +5,26 @@
  * no-prefetching / no-OCP baseline, broken down by suite and by the
  * prefetcher-adverse / prefetcher-friendly split of Fig. 1.
  *
- * Baseline runs are cached (the baseline depends only on the
- * workload, bandwidth, and core count) and independent workloads
- * run in parallel across hardware threads. Simulation length is
+ * Baseline runs are cached (keyed by the baseline config's content
+ * hash and the workload's spec hash) and independent workloads run
+ * in parallel across hardware threads. Simulation length is
  * controlled by the ATHENA_SIM_INSTR / ATHENA_WARMUP_INSTR
- * environment variables so the benches scale from smoke-test to
- * full-fidelity.
+ * environment variables (see RunBudget::fromEnv) so the benches
+ * scale from smoke-test to full-fidelity.
+ *
+ * When ATHENA_SNAPSHOT_DIR names a writable directory, single-core
+ * runs additionally cache their post-warmup state as ASNP snapshots
+ * keyed by (config hash, workload hash, warmup length): the first
+ * run of a (config, workload) pair simulates the warmup and
+ * snapshots it; every later run — e.g. the same sweep at a new
+ * policy configuration that shares the baseline — resumes from the
+ * snapshot and simulates only the measured window.
  */
 
 #ifndef ATHENA_SIM_RUNNER_HH
 #define ATHENA_SIM_RUNNER_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -23,6 +32,7 @@
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hh"
@@ -64,17 +74,34 @@ struct CategorySummary
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &fn);
 
+/**
+ * Instruction budgets for runner-driven simulations: the
+ * measured/warmup lengths of single-core runs and the reduced
+ * lengths used for multi-core mixes.
+ */
+struct RunBudget
+{
+    std::uint64_t simInstructions = 800000;
+    std::uint64_t warmupInstructions = 200000;
+    std::uint64_t mcSimInstructions = 250000;
+    std::uint64_t mcWarmupInstructions = 60000;
+
+    /**
+     * Budgets from the ATHENA_SIM_INSTR / ATHENA_WARMUP_INSTR /
+     * ATHENA_MC_INSTR / ATHENA_MC_WARMUP environment variables,
+     * with the defaults above where unset.
+     */
+    static RunBudget fromEnv();
+};
+
 class ExperimentRunner
 {
   public:
-    ExperimentRunner();
+    explicit ExperimentRunner(
+        const RunBudget &run_budget = RunBudget::fromEnv());
 
-    /** Measured / warmup instructions per core (env-overridable). */
-    std::uint64_t simInstructions;
-    std::uint64_t warmupInstructions;
-    /** Reduced lengths used for multi-core sweeps. */
-    std::uint64_t mcSimInstructions;
-    std::uint64_t mcWarmupInstructions;
+    /** Instruction budgets applied to every simulation. */
+    RunBudget budget;
 
     /** Run one workload under one configuration. */
     SimResult runOne(const SystemConfig &config,
@@ -112,6 +139,18 @@ class ExperimentRunner
     double mixSpeedup(const SystemConfig &config,
                       const std::vector<WorkloadSpec> &mix_specs);
 
+    /**
+     * Warmup instructions this runner actually simulated in
+     * single-workload runs (runOne). A run resumed from a
+     * warmup-snapshot cache hit contributes nothing — which is how
+     * the tests verify the cache really skips warmup simulation.
+     */
+    std::uint64_t
+    warmupInstructionsSimulated() const
+    {
+        return warmupSimulated.load(std::memory_order_relaxed);
+    }
+
   private:
     /**
      * Reader-writer lock: cache hits (the overwhelmingly common
@@ -120,11 +159,20 @@ class ExperimentRunner
      * exclusive side.
      */
     std::shared_mutex cacheMutex;
-    /** (workload, bandwidth-key) -> baseline IPC. */
-    std::map<std::pair<std::string, long>, double> baselineCache;
-    /** (config label, bandwidth-key) -> adverse names. */
-    std::map<std::pair<std::string, long>, std::set<std::string>>
-        adverseCache;
+    /**
+     * (workload spec hash, baseline config hash) -> baseline IPC.
+     * Content hashes, not labels: two configs that differ in any
+     * behavior-affecting field get distinct entries, while sweeps
+     * differing only in policy hyperparameters share the kAllOff
+     * baseline (SystemConfig::configKey hashes policy-specific
+     * config only for the selected policy).
+     */
+    std::map<std::pair<std::uint64_t, std::uint64_t>, double>
+        baselineCache;
+    /** pf-only config hash -> adverse workload names. */
+    std::map<std::uint64_t, std::set<std::string>> adverseCache;
+
+    mutable std::atomic<std::uint64_t> warmupSimulated{0};
 };
 
 } // namespace athena

@@ -20,6 +20,7 @@
 #include "coord/simple.hh"
 #include "coord/tlp.hh"
 #include "sim/step_picker.hh"
+#include "snapshot/snapshot.hh"
 
 namespace athena
 {
@@ -266,6 +267,18 @@ Simulator::Simulator(const SystemConfig &config,
         ctx->decision = ctx->policy->onEpochEnd(EpochStats{});
         coreCtxs.push_back(std::move(ctx));
     }
+
+    measure.starts.assign(cfg.cores, MeasureStart{});
+    measure.started.assign(cfg.cores, 0);
+}
+
+Simulator::Simulator(const SystemConfig &config,
+                     const std::vector<WorkloadSpec> &workloads,
+                     const std::string &resume_from)
+    : Simulator(config, workloads)
+{
+    SnapshotReader r(resume_from);
+    restoreFrom(r);
 }
 
 Simulator::~Simulator() = default;
@@ -745,41 +758,67 @@ Simulator::maybeEndEpoch(unsigned core)
 }
 
 SimResult
-Simulator::run(std::uint64_t instructions_per_core,
-               std::uint64_t warmup_per_core)
+Simulator::run(const RunPlan &plan)
 {
-    std::uint64_t total = instructions_per_core + warmup_per_core;
+    const std::uint64_t warmup_per_core = plan.warmup;
+    std::uint64_t total = plan.measured + plan.warmup;
 
-    struct MeasureStart
-    {
-        std::uint64_t instr = 0;
-        Cycle cycle = 0;
-        std::uint64_t loads = 0;
-        std::uint64_t stores = 0;
-        std::uint64_t mispredicts = 0;
-        std::uint64_t llcMisses = 0;
-        std::uint64_t llcMissLatency = 0;
-    };
-    std::vector<MeasureStart> starts(cfg.cores);
-    std::vector<bool> started(cfg.cores, false);
-    DramCounters dram_at_start;
-    Cycle max_now_at_start = 0;
-    bool any_started = false;
+    if (resumed) {
+        // The snapshot froze the measurement bookkeeping mid-plan;
+        // continuing under a different warmup would splice two
+        // different measurement windows together.
+        if (plan.warmup != resumeWarmup) {
+            throw std::invalid_argument(
+                "resumed run must use the warmup length its "
+                "snapshot was taken at");
+        }
+    } else {
+        measure.starts.assign(cfg.cores, MeasureStart{});
+        measure.started.assign(cfg.cores, 0);
+        measure.dramAtStart = DramCounters{};
+        measure.maxNowAtStart = 0;
+        measure.anyStarted = false;
+        resumeWarmup = plan.warmup;
+    }
+
+    bool want_snapshot = !plan.snapshotAfterWarmup.empty();
 
     auto check_warmup = [&](unsigned c) {
         CoreCtx &cc = *coreCtxs[c];
-        if (!started[c] && cc.core->retired() >= warmup_per_core) {
-            started[c] = true;
-            starts[c] = {cc.core->retired(), cc.core->now(),
-                         cc.core->counters().loads,
-                         cc.core->counters().stores,
-                         cc.core->counters().branchMispredicts,
-                         cc.llcMissesTotal, cc.llcMissLatencyTotal};
-            if (!any_started) {
-                any_started = true;
-                dram_at_start = dram->lifetime();
-                max_now_at_start = cc.core->now();
+        if (!measure.started[c] &&
+            cc.core->retired() >= warmup_per_core) {
+            measure.started[c] = 1;
+            measure.starts[c] = {cc.core->retired(), cc.core->now(),
+                                 cc.core->counters().loads,
+                                 cc.core->counters().stores,
+                                 cc.core->counters().branchMispredicts,
+                                 cc.llcMissesTotal,
+                                 cc.llcMissLatencyTotal};
+            if (!measure.anyStarted) {
+                measure.anyStarted = true;
+                measure.dramAtStart = dram->lifetime();
+                measure.maxNowAtStart = cc.core->now();
             }
+        }
+    };
+
+    // The warmup-snapshot cut: the first inter-step point at which
+    // every core has either crossed the warmup boundary or
+    // exhausted its stream. Any inter-step point would restore
+    // bit-identically (the stepping schedule is a pure function of
+    // the component state); this particular cut is the earliest one
+    // at which the remaining work is exactly the measured window.
+    auto all_past_warmup = [&]() {
+        for (unsigned c = 0; c < cfg.cores; ++c) {
+            if (!measure.started[c] && !coreCtxs[c]->core->finished())
+                return false;
+        }
+        return true;
+    };
+    auto maybe_snapshot = [&]() {
+        if (want_snapshot && all_past_warmup()) {
+            snapshot(plan.snapshotAfterWarmup);
+            want_snapshot = false;
         }
     };
 
@@ -787,18 +826,21 @@ Simulator::run(std::uint64_t instructions_per_core,
         CoreCtx &cc = *coreCtxs[0];
         // Batched stepping up to the warmup boundary, then in one
         // drain — preserving the post-step snapshot semantics of
-        // the generic path (the snapshot lands after the step that
-        // crosses the warmup boundary; for warmup == 0 it lands
-        // after the first step, hence the max with 1). A finite
-        // stream may end inside either span (stepN returns short
-        // exactly then); the warmup snapshot is only taken if the
-        // boundary was actually reached.
+        // the generic path (the measurement snapshot lands after
+        // the step that crosses the warmup boundary; for
+        // warmup == 0 it lands after the first step, hence the max
+        // with 1). A finite stream may end inside either span
+        // (stepN returns short exactly then); the measurement
+        // start is only sampled if the boundary was actually
+        // reached. On a resumed simulator the core is already at
+        // (or past) the boundary, so the first span is empty.
         std::uint64_t boundary = std::min(
             total, std::max<std::uint64_t>(warmup_per_core, 1));
         if (cc.core->retired() < boundary) {
             cc.core->stepN(boundary - cc.core->retired());
             check_warmup(0);
         }
+        maybe_snapshot();
         if (!cc.core->finished() && cc.core->retired() < total)
             cc.core->stepN(total - cc.core->retired());
     } else {
@@ -818,17 +860,37 @@ Simulator::run(std::uint64_t instructions_per_core,
         // least-advanced ordering — StepPicker::finish preserves
         // the heap invariant — so finish order and all counters
         // are a pure function of the per-core trajectories.
+        //
+        // Resume: rebuilding the picker from the restored per-core
+        // frontiers reproduces the original continuation exactly.
+        // The effective schedule is argmin over (now, core index) —
+        // stillTop's burst batching produces "exactly the order
+        // advance()+top() per instruction would" — so the heap
+        // holding every unfinished core at its current frontier is
+        // the same scheduler state the straight-through run was in
+        // at the cut. Cores that had already left the pick set
+        // (stream exhausted, or budget reached under this plan) are
+        // finished out before the loop starts.
         StepPicker picker(cfg.cores);
+        for (unsigned c = 0; c < cfg.cores; ++c)
+            picker.advance(c, coreCtxs[c]->core->now());
+        for (unsigned c = 0; c < cfg.cores; ++c) {
+            CoreCtx &cc = *coreCtxs[c];
+            if (cc.core->finished() || cc.core->retired() >= total)
+                picker.finish(c);
+        }
         while (!picker.empty()) {
             unsigned pick = picker.top();
             CoreCtx &cc = *coreCtxs[pick];
             for (;;) {
                 if (cc.core->finished()) {
                     picker.finish(pick);
+                    maybe_snapshot();
                     break;
                 }
                 cc.core->step();
                 check_warmup(pick);
+                maybe_snapshot();
                 if (cc.core->retired() >= total) {
                     picker.finish(pick);
                     break;
@@ -839,13 +901,16 @@ Simulator::run(std::uint64_t instructions_per_core,
                 }
             }
         }
+        // All streams may exhaust before any warmup crossing; the
+        // snapshot request is still honored at the terminal state.
+        maybe_snapshot();
     }
 
     SimResult result;
     Cycle max_now = 0;
     for (unsigned c = 0; c < cfg.cores; ++c) {
         CoreCtx &cc = *coreCtxs[c];
-        const MeasureStart &ms = starts[c];
+        const MeasureStart &ms = measure.starts[c];
         SimResult::PerCore pc;
         pc.workload = cc.workloadName;
         pc.completedInstructions = cc.core->retired();
@@ -873,23 +938,288 @@ Simulator::run(std::uint64_t instructions_per_core,
     }
 
     const DramCounters &life = dram->lifetime();
+    const DramCounters &at0 = measure.dramAtStart;
     result.dram.demandRequests =
-        life.demandRequests - dram_at_start.demandRequests;
+        life.demandRequests - at0.demandRequests;
     result.dram.prefetchRequests =
-        life.prefetchRequests - dram_at_start.prefetchRequests;
-    result.dram.ocpRequests =
-        life.ocpRequests - dram_at_start.ocpRequests;
-    result.dram.rowHits = life.rowHits - dram_at_start.rowHits;
-    result.dram.rowMisses = life.rowMisses - dram_at_start.rowMisses;
+        life.prefetchRequests - at0.prefetchRequests;
+    result.dram.ocpRequests = life.ocpRequests - at0.ocpRequests;
+    result.dram.rowHits = life.rowHits - at0.rowHits;
+    result.dram.rowMisses = life.rowMisses - at0.rowMisses;
     result.dram.busBusyCycles =
-        life.busBusyCycles - dram_at_start.busBusyCycles;
-    Cycle window = max_now > max_now_at_start
-                       ? max_now - max_now_at_start
+        life.busBusyCycles - at0.busBusyCycles;
+    Cycle window = max_now > measure.maxNowAtStart
+                       ? max_now - measure.maxNowAtStart
                        : 1;
     result.busUtilization =
         std::min(1.0, static_cast<double>(result.dram.busBusyCycles) /
                           static_cast<double>(window));
     return result;
+}
+
+namespace
+{
+
+void
+writeDramCounterBlock(SnapshotWriter &w, const DramCounters &d)
+{
+    w.u64(d.demandRequests);
+    w.u64(d.prefetchRequests);
+    w.u64(d.ocpRequests);
+    w.u64(d.rowHits);
+    w.u64(d.rowMisses);
+    w.u64(d.busBusyCycles);
+}
+
+void
+readDramCounterBlock(SnapshotReader &r, DramCounters &d)
+{
+    d.demandRequests = r.u64();
+    d.prefetchRequests = r.u64();
+    d.ocpRequests = r.u64();
+    d.rowHits = r.u64();
+    d.rowMisses = r.u64();
+    d.busBusyCycles = r.u64();
+}
+
+void
+writeCoreCounterBlock(SnapshotWriter &w, const CoreCounters &c)
+{
+    w.u64(c.instructions);
+    w.u64(c.loads);
+    w.u64(c.stores);
+    w.u64(c.branches);
+    w.u64(c.branchMispredicts);
+}
+
+void
+readCoreCounterBlock(SnapshotReader &r, CoreCounters &c)
+{
+    c.instructions = r.u64();
+    c.loads = r.u64();
+    c.stores = r.u64();
+    c.branches = r.u64();
+    c.branchMispredicts = r.u64();
+}
+
+/** Per-core section tag: "c<i>/<what>". */
+std::string
+coreTag(unsigned core, const char *what)
+{
+    return "c" + std::to_string(core) + "/" + what;
+}
+
+} // namespace
+
+void
+Simulator::snapshot(const std::string &path) const
+{
+    SnapshotWriter w;
+    saveTo(w);
+    w.writeFile(path);
+}
+
+/*
+ * Section layout. Every component writes its own tagged section so
+ * a corrupted or geometry-mismatched snapshot fails with an error
+ * naming the component, and sections can evolve independently
+ * behind the file-level version:
+ *
+ *   meta       config content hash + core count
+ *   resume     plan warmup + measurement-window bookkeeping
+ *   llc, dram  shared resources
+ *   c<i>/wl     workload generator cursors
+ *   c<i>/core   core pipeline + branch predictor
+ *   c<i>/l1, c<i>/l2
+ *   c<i>/pf<s>  prefetcher slot s
+ *   c<i>/ocp    off-chip predictor (present when configured)
+ *   c<i>/policy coordination policy learned state
+ *   c<i>/epoch  epoch window + decision + diagnostics counters
+ */
+void
+Simulator::saveTo(SnapshotWriter &w) const
+{
+    w.beginSection("meta");
+    w.u64(cfg.configKey());
+    w.u32(cfg.cores);
+    w.endSection();
+
+    w.beginSection("resume");
+    w.u64(resumeWarmup);
+    w.boolean(measure.anyStarted);
+    writeDramCounterBlock(w, measure.dramAtStart);
+    w.u64(measure.maxNowAtStart);
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        const MeasureStart &ms = measure.starts[c];
+        w.boolean(measure.started[c] != 0);
+        w.u64(ms.instr);
+        w.u64(ms.cycle);
+        w.u64(ms.loads);
+        w.u64(ms.stores);
+        w.u64(ms.mispredicts);
+        w.u64(ms.llcMisses);
+        w.u64(ms.llcMissLatency);
+    }
+    w.endSection();
+
+    w.beginSection("llc");
+    llc->saveState(w);
+    w.endSection();
+
+    w.beginSection("dram");
+    dram->saveState(w);
+    w.endSection();
+
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        const CoreCtx &cc = *coreCtxs[c];
+
+        w.beginSection(coreTag(c, "wl"));
+        cc.workload->saveState(w);
+        w.endSection();
+
+        w.beginSection(coreTag(c, "core"));
+        cc.core->saveState(w);
+        w.endSection();
+
+        w.beginSection(coreTag(c, "l1"));
+        cc.l1.saveState(w);
+        w.endSection();
+
+        w.beginSection(coreTag(c, "l2"));
+        cc.l2.saveState(w);
+        w.endSection();
+
+        for (unsigned s = 0; s < cc.prefetchers.size(); ++s) {
+            w.beginSection(coreTag(c, "pf") + std::to_string(s));
+            cc.prefetchers[s]->saveState(w);
+            w.endSection();
+        }
+
+        if (cc.ocp) {
+            w.beginSection(coreTag(c, "ocp"));
+            cc.ocp->saveState(w);
+            w.endSection();
+        }
+
+        w.beginSection(coreTag(c, "policy"));
+        cc.policy->saveState(w);
+        w.endSection();
+
+        w.beginSection(coreTag(c, "epoch"));
+        writeCoordDecision(w, cc.decision);
+        writeEpochStats(w, cc.window);
+        w.u64(cc.epochStartInstr);
+        w.u64(cc.epochStartCycle);
+        writeCoreCounterBlock(w, cc.epochStartCounters);
+        w.u64(cc.lastBusBusy);
+        writeDramCounterBlock(w, cc.lastDram);
+        cc.pollutionBloom.saveState(w);
+        for (const PrefetcherSlotStats &ps : cc.pfStats) {
+            w.u64(ps.issued);
+            w.u64(ps.used);
+            w.u64(ps.usedTimely);
+            w.u64(ps.uselessEvictions);
+            w.u64(ps.fillsFromDram);
+            w.u64(ps.fillsFromDramUnused);
+        }
+        w.u64(cc.ocpPredictions);
+        w.u64(cc.ocpCorrect);
+        w.u64(cc.llcMissesTotal);
+        w.u64(cc.llcMissLatencyTotal);
+        w.endSection();
+    }
+}
+
+void
+Simulator::restoreFrom(SnapshotReader &r)
+{
+    r.openSection("meta");
+    std::uint64_t key = r.u64();
+    if (key != cfg.configKey()) {
+        throw SnapshotError(
+            "meta",
+            "snapshot was taken under a different system "
+            "configuration (config key mismatch)");
+    }
+    r.expectU32(cfg.cores, "core count");
+
+    r.openSection("resume");
+    resumeWarmup = r.u64();
+    measure.anyStarted = r.boolean();
+    readDramCounterBlock(r, measure.dramAtStart);
+    measure.maxNowAtStart = r.u64();
+    measure.starts.assign(cfg.cores, MeasureStart{});
+    measure.started.assign(cfg.cores, 0);
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        MeasureStart &ms = measure.starts[c];
+        measure.started[c] = r.boolean() ? 1 : 0;
+        ms.instr = r.u64();
+        ms.cycle = r.u64();
+        ms.loads = r.u64();
+        ms.stores = r.u64();
+        ms.mispredicts = r.u64();
+        ms.llcMisses = r.u64();
+        ms.llcMissLatency = r.u64();
+    }
+
+    r.openSection("llc");
+    llc->restoreState(r);
+
+    r.openSection("dram");
+    dram->restoreState(r);
+
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        CoreCtx &cc = *coreCtxs[c];
+
+        r.openSection(coreTag(c, "wl"));
+        cc.workload->restoreState(r);
+
+        r.openSection(coreTag(c, "core"));
+        cc.core->restoreState(r);
+
+        r.openSection(coreTag(c, "l1"));
+        cc.l1.restoreState(r);
+
+        r.openSection(coreTag(c, "l2"));
+        cc.l2.restoreState(r);
+
+        for (unsigned s = 0; s < cc.prefetchers.size(); ++s) {
+            r.openSection(coreTag(c, "pf") + std::to_string(s));
+            cc.prefetchers[s]->restoreState(r);
+        }
+
+        if (cc.ocp) {
+            r.openSection(coreTag(c, "ocp"));
+            cc.ocp->restoreState(r);
+        }
+
+        r.openSection(coreTag(c, "policy"));
+        cc.policy->restoreState(r);
+
+        r.openSection(coreTag(c, "epoch"));
+        readCoordDecision(r, cc.decision);
+        readEpochStats(r, cc.window);
+        cc.epochStartInstr = r.u64();
+        cc.epochStartCycle = r.u64();
+        readCoreCounterBlock(r, cc.epochStartCounters);
+        cc.lastBusBusy = r.u64();
+        readDramCounterBlock(r, cc.lastDram);
+        cc.pollutionBloom.restoreState(r);
+        for (PrefetcherSlotStats &ps : cc.pfStats) {
+            ps.issued = r.u64();
+            ps.used = r.u64();
+            ps.usedTimely = r.u64();
+            ps.uselessEvictions = r.u64();
+            ps.fillsFromDram = r.u64();
+            ps.fillsFromDramUnused = r.u64();
+        }
+        cc.ocpPredictions = r.u64();
+        cc.ocpCorrect = r.u64();
+        cc.llcMissesTotal = r.u64();
+        cc.llcMissLatencyTotal = r.u64();
+    }
+
+    resumed = true;
 }
 
 } // namespace athena

@@ -33,6 +33,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Cumulative per-prefetcher-slot statistics. */
 struct PrefetcherSlotStats
 {
@@ -124,8 +127,26 @@ struct SimResult
 };
 
 /**
+ * One run's per-core instruction budget. Measured instructions are
+ * counted after the warmup boundary; a non-empty snapshotAfterWarmup
+ * writes a full-state snapshot (see Simulator::snapshot) the moment
+ * every core has crossed that boundary (or exhausted its stream),
+ * so a later Simulator constructed with the resume overload replays
+ * only the measured window — bit-identically to the straight-through
+ * run.
+ */
+struct RunPlan
+{
+    std::uint64_t measured = 0;
+    std::uint64_t warmup = 0;
+    /** Snapshot destination path; empty = no snapshot. */
+    std::string snapshotAfterWarmup;
+};
+
+/**
  * One simulated system instance. Construct, then run() once;
- * construct a fresh Simulator for each run.
+ * construct a fresh Simulator for each run (or resume one from a
+ * snapshot).
  */
 class Simulator
 {
@@ -137,14 +158,28 @@ class Simulator
      */
     Simulator(const SystemConfig &config,
               const std::vector<WorkloadSpec> &workloads);
+
+    /**
+     * Resume a previously snapshotted system: constructs the
+     * identical component tree and restores every section of the
+     * snapshot at @p resume_from into it. The config/workloads must
+     * match the ones the snapshot was taken under (checked via
+     * SystemConfig::configKey and per-section geometry guards;
+     * SnapshotError otherwise). The subsequent run() must use the
+     * warmup length the snapshot was taken at and continues the
+     * original schedule bit-identically.
+     */
+    Simulator(const SystemConfig &config,
+              const std::vector<WorkloadSpec> &workloads,
+              const std::string &resume_from);
     ~Simulator();
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
     /**
-     * Run warmup + measured instructions per core and return the
-     * measured-window results.
+     * Run the plan's warmup + measured instructions per core and
+     * return the measured-window results.
      *
      * A core whose workload stream ends early (finite trace
      * replay) retires from the stepping loop deterministically: it
@@ -154,9 +189,38 @@ class Simulator
      * instruction count with streamExhausted set. A core that
      * exhausts before crossing the warmup boundary reports its
      * whole run as the measured window.
+     *
+     * On a resumed simulator the plan's warmup must equal the
+     * snapshot's (std::invalid_argument otherwise); the warmup
+     * instructions are already retired, so only the measured span
+     * is simulated.
      */
-    SimResult run(std::uint64_t instructions_per_core,
-                  std::uint64_t warmup_per_core);
+    SimResult run(const RunPlan &plan);
+
+    /**
+     * Deprecated shim for the pre-RunPlan signature; forwards to
+     * run(RunPlan). Prefer the RunPlan overload in new code.
+     */
+    SimResult
+    run(std::uint64_t instructions_per_core,
+        std::uint64_t warmup_per_core)
+    {
+        RunPlan plan;
+        plan.measured = instructions_per_core;
+        plan.warmup = warmup_per_core;
+        return run(plan);
+    }
+
+    /**
+     * Write the complete simulator state — every core, cache,
+     * prefetcher, predictor, policy, workload cursor, the DRAM
+     * channel, and the measurement bookkeeping — to @p path in the
+     * versioned ASNP format (see snapshot/snapshot.hh). Only legal
+     * between instruction steps (the DRAM request queue must be
+     * empty; Dram::saveState enforces this). Throws SnapshotError
+     * on I/O failure.
+     */
+    void snapshot(const std::string &path) const;
 
     /** The coordination policy of a core (tests introspect). */
     CoordinationPolicy &policy(unsigned core = 0);
@@ -189,8 +253,44 @@ class Simulator
                                       Cycle demand_cycle);
     void maybeEndEpoch(unsigned core);
 
+    // Snapshot plumbing (section layout in simulator.cc).
+    void saveTo(SnapshotWriter &w) const;
+    void restoreFrom(SnapshotReader &r);
+
+    /** Measurement-window start sample of one core. */
+    struct MeasureStart
+    {
+        std::uint64_t instr = 0;
+        Cycle cycle = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t mispredicts = 0;
+        std::uint64_t llcMisses = 0;
+        std::uint64_t llcMissLatency = 0;
+    };
+
+    /**
+     * The run's measurement bookkeeping. A member (not run()-local)
+     * so a warmup snapshot captures it and a resumed run continues
+     * the same measurement window.
+     */
+    struct MeasureState
+    {
+        std::vector<MeasureStart> starts;
+        std::vector<std::uint8_t> started;
+        DramCounters dramAtStart;
+        Cycle maxNowAtStart = 0;
+        bool anyStarted = false;
+    };
+
     SystemConfig cfg;
     std::vector<std::unique_ptr<CoreCtx>> coreCtxs;
+
+    MeasureState measure;
+    /** True when this instance was restored from a snapshot. */
+    bool resumed = false;
+    /** Warmup length the snapshot (or current run) was taken at. */
+    std::uint64_t resumeWarmup = 0;
 
     // Cumulative round-trip latencies (Table 5), hoisted out of the
     // per-access path: identical for every core and every access.

@@ -70,6 +70,17 @@ struct SystemConfig
 
     /** Number of prefetcher slots in use. */
     unsigned numPrefetchers() const;
+
+    /**
+     * Stable content hash over every behavior-affecting field.
+     * The cosmetic label is excluded, and each policy-specific
+     * configuration (athena/hpac/mab) is hashed only when that
+     * policy is selected — so e.g. two sweeps that differ only in
+     * their Athena hyperparameters share baseline (kAllOff) keys.
+     * Used to key the ExperimentRunner result caches and the
+     * warmup-snapshot cache.
+     */
+    std::uint64_t configKey() const;
 };
 
 /** Build the config for a given cache design with defaults. */

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Snapshot writer/reader implementation.
+ */
+
+#include "snapshot/snapshot.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define ATHENA_SNAPSHOT_HAVE_MMAP 1
+#endif
+
+namespace athena
+{
+
+namespace
+{
+
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kTableEntryBytes =
+    kSnapshotTagBytes + 8 + 8 + 8;
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU16At(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+putU32At(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putU64At(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] |
+                                      (std::uint32_t{p[1]} << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+snapshotChecksum(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------
+// SnapshotWriter
+// ---------------------------------------------------------------
+
+void
+SnapshotWriter::beginSection(const std::string &tag)
+{
+    if (inSection) {
+        throw SnapshotError(tag, "beginSection inside open section '" +
+                                     sections.back().tag + "'");
+    }
+    if (tag.empty() || tag.size() >= kSnapshotTagBytes)
+        throw SnapshotError(tag, "section tag empty or too long");
+    Section s;
+    s.tag = tag;
+    s.start = payload.size();
+    sections.push_back(std::move(s));
+    inSection = true;
+}
+
+void
+SnapshotWriter::endSection()
+{
+    if (!inSection)
+        throw SnapshotError("", "endSection with no open section");
+    Section &s = sections.back();
+    s.length = payload.size() - s.start;
+    s.checksum = snapshotChecksum(payload.data() + s.start, s.length);
+    inSection = false;
+}
+
+void
+SnapshotWriter::u16(std::uint16_t v)
+{
+    putU16(payload, v);
+}
+
+void
+SnapshotWriter::u32(std::uint32_t v)
+{
+    putU32(payload, v);
+}
+
+void
+SnapshotWriter::u64(std::uint64_t v)
+{
+    putU64(payload, v);
+}
+
+void
+SnapshotWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double width");
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+SnapshotWriter::bytes(const void *p, std::size_t n)
+{
+    const auto *b = static_cast<const std::uint8_t *>(p);
+    payload.insert(payload.end(), b, b + n);
+}
+
+std::vector<std::uint8_t>
+SnapshotWriter::serialize() const
+{
+    if (inSection) {
+        throw SnapshotError(sections.back().tag,
+                            "serialize with section still open");
+    }
+    const std::size_t payload_base =
+        kHeaderBytes + sections.size() * kTableEntryBytes;
+    // Pre-size the buffer and fill by offset (rather than growing
+    // through insert) so the exact layout is explicit and GCC's LTO
+    // alias analysis doesn't misjudge the allocation size.
+    std::vector<std::uint8_t> out(payload_base + payload.size());
+    std::uint8_t *p = out.data();
+    std::memcpy(p, kSnapshotMagic, 4);
+    putU16At(p + 4, kSnapshotVersion);
+    putU16At(p + 6, static_cast<std::uint16_t>(kSnapshotTagBytes));
+    putU32At(p + 8, static_cast<std::uint32_t>(sections.size()));
+    putU32At(p + 12, 0);
+    p += kHeaderBytes;
+    for (const Section &s : sections) {
+        std::memset(p, 0, kSnapshotTagBytes);
+        std::memcpy(p, s.tag.data(), s.tag.size());
+        putU64At(p + kSnapshotTagBytes, payload_base + s.start);
+        putU64At(p + kSnapshotTagBytes + 8, s.length);
+        putU64At(p + kSnapshotTagBytes + 16, s.checksum);
+        p += kTableEntryBytes;
+    }
+    if (!payload.empty())
+        std::memcpy(p, payload.data(), payload.size());
+    return out;
+}
+
+void
+SnapshotWriter::writeFile(const std::string &path) const
+{
+    std::vector<std::uint8_t> buf = serialize();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw SnapshotError("", "cannot open '" + path +
+                                    "' for writing");
+    std::size_t wrote = std::fwrite(buf.data(), 1, buf.size(), f);
+    bool flush_ok = std::fclose(f) == 0;
+    if (wrote != buf.size() || !flush_ok) {
+        std::remove(path.c_str());
+        throw SnapshotError("", "short write to '" + path + "'");
+    }
+}
+
+// ---------------------------------------------------------------
+// SnapshotReader
+// ---------------------------------------------------------------
+
+SnapshotReader::SnapshotReader(const std::string &path)
+{
+#ifdef ATHENA_SNAPSHOT_HAVE_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw SnapshotError("", "cannot open snapshot '" + path + "'");
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        throw SnapshotError("", "cannot stat snapshot '" + path + "'");
+    }
+    mapLen = static_cast<std::size_t>(st.st_size);
+    void *base = mapLen == 0
+                     ? MAP_FAILED
+                     : ::mmap(nullptr, mapLen, PROT_READ, MAP_PRIVATE,
+                              fd, 0);
+    if (base != MAP_FAILED) {
+        mapBase = base;
+        data = static_cast<const std::uint8_t *>(base);
+        size = mapLen;
+        ::close(fd);
+    } else {
+        // Read fallback (e.g. filesystems without mmap support).
+        owned.resize(mapLen);
+        std::size_t got = 0;
+        while (got < mapLen) {
+            ssize_t n = ::read(fd, owned.data() + got, mapLen - got);
+            if (n <= 0)
+                break;
+            got += static_cast<std::size_t>(n);
+        }
+        ::close(fd);
+        mapLen = 0;
+        if (got != owned.size())
+            throw SnapshotError("", "short read of '" + path + "'");
+        data = owned.data();
+        size = owned.size();
+    }
+#else
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapshotError("", "cannot open snapshot '" + path + "'");
+    std::fseek(f, 0, SEEK_END);
+    long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    owned.resize(len > 0 ? static_cast<std::size_t>(len) : 0);
+    std::size_t got = std::fread(owned.data(), 1, owned.size(), f);
+    std::fclose(f);
+    if (got != owned.size())
+        throw SnapshotError("", "short read of '" + path + "'");
+    data = owned.data();
+    size = owned.size();
+#endif
+    parse();
+}
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> buffer)
+    : owned(std::move(buffer))
+{
+    data = owned.data();
+    size = owned.size();
+    parse();
+}
+
+SnapshotReader::~SnapshotReader()
+{
+#ifdef ATHENA_SNAPSHOT_HAVE_MMAP
+    if (mapBase)
+        ::munmap(mapBase, mapLen);
+#endif
+}
+
+void
+SnapshotReader::parse()
+{
+    if (size < kHeaderBytes)
+        throw SnapshotError("", "truncated snapshot header");
+    if (std::memcmp(data, kSnapshotMagic, 4) != 0)
+        throw SnapshotError("", "bad snapshot magic");
+    std::uint16_t version = getU16(data + 4);
+    if (version != kSnapshotVersion) {
+        throw SnapshotError(
+            "", "unsupported snapshot version " +
+                    std::to_string(version) + " (expected " +
+                    std::to_string(kSnapshotVersion) + ")");
+    }
+    std::uint16_t tag_bytes = getU16(data + 6);
+    if (tag_bytes != kSnapshotTagBytes)
+        throw SnapshotError("", "bad section tag width");
+    std::uint32_t count = getU32(data + 8);
+    std::size_t table_end =
+        kHeaderBytes + std::size_t{count} * kTableEntryBytes;
+    if (table_end > size)
+        throw SnapshotError("", "truncated section table");
+    entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint8_t *e =
+            data + kHeaderBytes + std::size_t{i} * kTableEntryBytes;
+        Entry entry;
+        std::size_t tag_len = 0;
+        while (tag_len < kSnapshotTagBytes && e[tag_len] != 0)
+            ++tag_len;
+        entry.tag.assign(reinterpret_cast<const char *>(e), tag_len);
+        entry.offset = getU64(e + kSnapshotTagBytes);
+        entry.length = getU64(e + kSnapshotTagBytes + 8);
+        entry.checksum = getU64(e + kSnapshotTagBytes + 16);
+        if (entry.offset < table_end ||
+            entry.offset + entry.length > size ||
+            entry.offset + entry.length < entry.offset) {
+            throw SnapshotError(entry.tag,
+                                "section extends past end of file "
+                                "(truncated snapshot)");
+        }
+        entries.push_back(std::move(entry));
+    }
+}
+
+const SnapshotReader::Entry *
+SnapshotReader::find(const std::string &tag) const
+{
+    for (const Entry &e : entries) {
+        if (e.tag == tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+SnapshotReader::hasSection(const std::string &tag) const
+{
+    return find(tag) != nullptr;
+}
+
+void
+SnapshotReader::openSection(const std::string &tag)
+{
+    const Entry *e = find(tag);
+    if (!e)
+        throw SnapshotError(tag, "missing section");
+    auto *mutable_e = const_cast<Entry *>(e);
+    if (!mutable_e->verified) {
+        std::uint64_t sum =
+            snapshotChecksum(data + e->offset, e->length);
+        if (sum != e->checksum)
+            throw SnapshotError(tag, "checksum mismatch (corrupted "
+                                     "snapshot)");
+        mutable_e->verified = true;
+    }
+    curTag = tag;
+    cursor = e->offset;
+    secEnd = e->offset + e->length;
+}
+
+void
+SnapshotReader::underflow(std::size_t need)
+{
+    throw SnapshotError(
+        curTag.empty() ? std::string("<none>") : curTag,
+        "read of " + std::to_string(need) + " bytes past section "
+        "end (truncated or mismatched layout)");
+}
+
+std::uint8_t
+SnapshotReader::u8()
+{
+    if (cursor + 1 > secEnd)
+        underflow(1);
+    return data[cursor++];
+}
+
+std::uint16_t
+SnapshotReader::u16()
+{
+    if (cursor + 2 > secEnd)
+        underflow(2);
+    std::uint16_t v = getU16(data + cursor);
+    cursor += 2;
+    return v;
+}
+
+std::uint32_t
+SnapshotReader::u32()
+{
+    if (cursor + 4 > secEnd)
+        underflow(4);
+    std::uint32_t v = getU32(data + cursor);
+    cursor += 4;
+    return v;
+}
+
+std::uint64_t
+SnapshotReader::u64()
+{
+    if (cursor + 8 > secEnd)
+        underflow(8);
+    std::uint64_t v = getU64(data + cursor);
+    cursor += 8;
+    return v;
+}
+
+double
+SnapshotReader::f64()
+{
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+void
+SnapshotReader::bytes(void *p, std::size_t n)
+{
+    if (cursor + n > secEnd || cursor + n < cursor)
+        underflow(n);
+    std::memcpy(p, data + cursor, n);
+    cursor += n;
+}
+
+std::vector<std::uint64_t>
+SnapshotReader::vecU64()
+{
+    std::uint64_t n = u64();
+    if (n > remaining() / 8)
+        underflow(static_cast<std::size_t>(n) * 8);
+    std::vector<std::uint64_t> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(u64());
+    return v;
+}
+
+std::vector<std::uint8_t>
+SnapshotReader::vecU8()
+{
+    std::uint64_t n = u64();
+    if (n > remaining())
+        underflow(static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+    bytes(v.data(), v.size());
+    return v;
+}
+
+void
+SnapshotReader::expectU32(std::uint32_t want, const char *what)
+{
+    std::uint32_t got = u32();
+    if (got != want) {
+        throw SnapshotError(curTag,
+                            std::string(what) + " mismatch: snapshot "
+                            "has " + std::to_string(got) +
+                            ", expected " + std::to_string(want) +
+                            " (wrong geometry)");
+    }
+}
+
+void
+SnapshotReader::expectU64(std::uint64_t want, const char *what)
+{
+    std::uint64_t got = u64();
+    if (got != want) {
+        throw SnapshotError(curTag,
+                            std::string(what) + " mismatch: snapshot "
+                            "has " + std::to_string(got) +
+                            ", expected " + std::to_string(want) +
+                            " (wrong geometry)");
+    }
+}
+
+} // namespace athena

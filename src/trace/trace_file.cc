@@ -16,6 +16,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "snapshot/snapshot.hh"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define ATHENA_TRACE_HAVE_MMAP 1
 #include <fcntl.h>
@@ -533,6 +535,30 @@ TraceReplayWorkload::nextBatch(TraceRecord *out, std::size_t n)
         filled += take;
     }
     return filled;
+}
+
+void
+TraceReplayWorkload::saveState(SnapshotWriter &w) const
+{
+    w.u64(file->size());
+    w.u64(loopCount);
+    w.u64(pos);
+    w.u64(passesDone);
+}
+
+void
+TraceReplayWorkload::restoreState(SnapshotReader &r)
+{
+    r.expectU64(file->size(), "trace record count");
+    r.expectU64(loopCount, "trace loop count");
+    std::uint64_t new_pos = r.u64();
+    if (new_pos > file->size()) {
+        throw SnapshotError(r.currentSection(),
+                            "trace cursor past end of trace "
+                            "(corrupted snapshot)");
+    }
+    pos = static_cast<std::size_t>(new_pos);
+    passesDone = r.u64();
 }
 
 WorkloadSpec

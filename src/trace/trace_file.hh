@@ -182,6 +182,11 @@ class TraceReplayWorkload : public WorkloadGenerator
     TraceRecord next() override;
     std::size_t nextBatch(TraceRecord *out, std::size_t n) override;
 
+    /** Snapshot contract: replay cursor + pass count, guarded by
+     *  the trace's record count and loop configuration. */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     const TraceFile &trace() const { return *file; }
     /** Configured pass count (0 = infinite). */
     std::uint64_t loops() const { return loopCount; }

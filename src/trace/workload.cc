@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common/hashing.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/trace_file.hh"
 
 namespace athena
@@ -390,6 +391,57 @@ SyntheticWorkload::nextBatch(TraceRecord *out, std::size_t n)
     return n;
 }
 
+void
+SyntheticWorkload::saveState(SnapshotWriter &w) const
+{
+    w.u64(phaseStates.size());
+    w.u64(rng.rawState());
+    w.u64(phaseIndex);
+    w.u64(phaseInstrsLeft);
+    w.u64(globalInstr);
+    for (const PhaseState &st : phaseStates) {
+        w.u64(st.cursor);
+        w.u64(st.chasePtr);
+        w.boolean(st.inScan);
+        w.u32(st.burstLeft);
+        w.u64(st.scanCursor);
+        w.u64(st.regionBase);
+        w.u32(st.regionStep);
+        w.u64(st.regionPattern);
+        w.u32(st.pcRotor);
+    }
+}
+
+void
+SyntheticWorkload::restoreState(SnapshotReader &r)
+{
+    // Rebuild the derived per-phase state (region bases, reducers,
+    // thresholds, zipf tables) from the spec, then overwrite the
+    // mutable cursors with the snapshotted values.
+    reset();
+    r.expectU64(phaseStates.size(), "workload phase count");
+    rng.setRawState(r.u64());
+    phaseIndex = r.u64();
+    if (phaseIndex >= phaseStates.size()) {
+        throw SnapshotError(r.currentSection(),
+                            "workload phase index out of range "
+                            "(corrupted snapshot)");
+    }
+    phaseInstrsLeft = r.u64();
+    globalInstr = r.u64();
+    for (PhaseState &st : phaseStates) {
+        st.cursor = r.u64();
+        st.chasePtr = r.u64();
+        st.inScan = r.boolean();
+        st.burstLeft = r.u32();
+        st.scanCursor = r.u64();
+        st.regionBase = r.u64();
+        st.regionStep = r.u32();
+        st.regionPattern = r.u64();
+        st.pcRotor = r.u32();
+    }
+}
+
 std::unique_ptr<WorkloadGenerator>
 makeWorkload(const WorkloadSpec &spec)
 {
@@ -398,6 +450,77 @@ makeWorkload(const WorkloadSpec &spec)
                                                      spec.traceLoops);
     }
     return std::make_unique<SyntheticWorkload>(spec);
+}
+
+namespace
+{
+
+/** FNV-1a accumulator for the spec content hash. */
+struct SpecHash
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const unsigned char *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+};
+
+} // namespace
+
+std::uint64_t
+workloadKey(const WorkloadSpec &spec)
+{
+    SpecHash h;
+    h.str(spec.name);
+    h.u64(static_cast<std::uint64_t>(spec.suite));
+    h.u64(spec.seed);
+    h.u64(spec.phases.size());
+    for (const PhaseParams &p : spec.phases) {
+        h.u64(static_cast<std::uint64_t>(p.pattern));
+        h.u64(p.instructions);
+        h.u64(p.footprintBytes);
+        h.u64(p.strideBytes);
+        h.u64(p.elementBytes);
+        h.f64(p.loadFrac);
+        h.f64(p.storeFrac);
+        h.f64(p.branchFrac);
+        h.f64(p.criticalFrac);
+        h.f64(p.branchBias);
+        h.f64(p.branchNoise);
+        h.f64(p.hotFrac);
+        h.u64(p.hotBytes);
+        h.f64(p.zipfS);
+        h.u64(p.scanBurst);
+        h.u64(p.gatherBurst);
+        h.u64(p.regionLines);
+        h.u64(p.loadPcs);
+    }
+    h.str(spec.tracePath);
+    h.u64(spec.traceLoops);
+    return h.h;
 }
 
 } // namespace athena

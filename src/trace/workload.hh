@@ -31,6 +31,9 @@
 namespace athena
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Instruction classes the timing model distinguishes. */
 enum class InstrKind : std::uint8_t
 {
@@ -126,6 +129,15 @@ class WorkloadGenerator
             out[i] = next();
         return n;
     }
+
+    /**
+     * Snapshot contract: serialize the stream cursor so a restored
+     * generator resumes emitting the exact record sequence a
+     * straight-through run would see. The default is a no-op for
+     * stateless generators; every stateful generator overrides both.
+     */
+    virtual void saveState(SnapshotWriter &) const {}
+    virtual void restoreState(SnapshotReader &) {}
 };
 
 /** Memory access pattern of a workload phase. */
@@ -228,6 +240,12 @@ class SyntheticWorkload : public WorkloadGenerator
     TraceRecord next() override;
     std::size_t nextBatch(TraceRecord *out, std::size_t n) override;
 
+    /** Snapshot contract: RNG state, phase cursor, and the mutable
+     *  per-phase pattern cursors; derived reducers, thresholds and
+     *  zipf tables are rebuilt from the spec. */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
     const WorkloadSpec &workloadSpec() const { return spec; }
 
   private:
@@ -322,6 +340,15 @@ class SyntheticWorkload : public WorkloadGenerator
  * a TraceReplayWorkload when spec.tracePath is set.
  */
 std::unique_ptr<WorkloadGenerator> makeWorkload(const WorkloadSpec &spec);
+
+/**
+ * Stable content hash of a workload spec: every field that affects
+ * the emitted record stream (name, suite, seed, all phase
+ * parameters, trace path and loop count). Used to key the
+ * warmup-snapshot cache — two specs with equal keys produce
+ * identical streams.
+ */
+std::uint64_t workloadKey(const WorkloadSpec &spec);
 
 } // namespace athena
 

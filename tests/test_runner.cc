@@ -52,8 +52,20 @@ class RunnerTest : public ::testing::Test
 TEST_F(RunnerTest, EnvControlsInstructionCounts)
 {
     ExperimentRunner runner;
-    EXPECT_EQ(runner.simInstructions, 40000u);
-    EXPECT_EQ(runner.warmupInstructions, 10000u);
+    EXPECT_EQ(runner.budget.simInstructions, 40000u);
+    EXPECT_EQ(runner.budget.warmupInstructions, 10000u);
+    EXPECT_EQ(runner.budget.mcSimInstructions, 20000u);
+    EXPECT_EQ(runner.budget.mcWarmupInstructions, 5000u);
+}
+
+TEST_F(RunnerTest, ExplicitBudgetOverridesEnv)
+{
+    RunBudget b;
+    b.simInstructions = 123;
+    b.warmupInstructions = 45;
+    ExperimentRunner runner(b);
+    EXPECT_EQ(runner.budget.simInstructions, 123u);
+    EXPECT_EQ(runner.budget.warmupInstructions, 45u);
 }
 
 TEST_F(RunnerTest, BaselineCacheIsConsistent)
