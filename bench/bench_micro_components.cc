@@ -373,7 +373,7 @@ BM_SimulatorInstruction(benchmark::State &state)
     const std::uint64_t chunk = 100000;
     for (auto _ : state) {
         athena::Simulator sim(cfg, {workloads.front()});
-        benchmark::DoNotOptimize(sim.run(chunk, 0));
+        benchmark::DoNotOptimize(sim.run({chunk, 0}));
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations() * chunk));
@@ -395,7 +395,7 @@ BM_SnapshotSave(benchmark::State &state)
     athena::SystemConfig cfg = athena::makeDesignConfig(
         athena::CacheDesign::kCd1, athena::PolicyKind::kAthena);
     athena::Simulator sim(cfg, {workloads.front()});
-    sim.run(50000, 0);
+    sim.run({50000, 0});
     const std::string path = snapshotBenchPath("bench_save.asnp");
     for (auto _ : state)
         sim.snapshot(path);
@@ -415,7 +415,7 @@ BM_SnapshotRestore(benchmark::State &state)
     athena::SystemConfig cfg = athena::makeDesignConfig(
         athena::CacheDesign::kCd1, athena::PolicyKind::kAthena);
     athena::Simulator sim(cfg, {workloads.front()});
-    sim.run(50000, 0);
+    sim.run({50000, 0});
     const std::string path = snapshotBenchPath("bench_restore.asnp");
     sim.snapshot(path);
     for (auto _ : state) {

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * ParallelStepper: the deterministic parallel multi-core stepping
+ * engine's coordination core (conservative-lookahead PDES).
+ *
+ * The sequential multi-core engine steps one instruction at a time
+ * on the globally least-advanced core (StepPicker: argmin over
+ * (now, core index)). The only cross-core coupling points are the
+ * shared LLC and the DRAM channel — everything else a step touches
+ * (core pipeline, L1/L2, branch predictor, prefetchers, policy,
+ * workload cursor) is private to its core. So the stepping schedule
+ * is only *observable* through the order in which steps touch
+ * shared state, and that order is fully determined by each
+ * shared-touching step's key: the core's frontier cycle immediately
+ * before the step, tie-broken by core index — exactly the
+ * StepPicker key the sequential engine picks by.
+ *
+ * The parallel engine exploits this: every core runs on its own
+ * thread, publishing its pre-step frontier (`bound`) before each
+ * instruction. Private work proceeds concurrently without any
+ * synchronization. The first LLC/DRAM touch inside a step parks the
+ * core until its (bound, index) pair is the global minimum over all
+ * live cores — i.e. until every step the sequential schedule orders
+ * before it has committed and no other core can still produce an
+ * earlier-keyed shared access (each core's bound is a lower bound
+ * on all its future step keys, because frontiers are monotone).
+ * Once granted, the remainder of the step's shared accesses run
+ * under exclusive ownership of the shared state; the grant is
+ * released by the core's next bound publication (or its terminal
+ * `done`), whose release-store is what hands shared-state
+ * visibility to the next granted core.
+ *
+ * The result is bit-identical to the sequential engine by
+ * construction: same per-core instruction streams, same shared
+ * commit order, same values — pinned by the golden suite and the
+ * shared-step order oracle (tests/test_parallel_step.cc).
+ *
+ * Progress: a parked core waits only on cores whose bound is below
+ * its key. Every live core republishes its bound each instruction
+ * (the heartbeat that makes the lookahead advance) and a finished
+ * core's `done` flag removes it from everyone's wait condition, so
+ * the minimum-key parked core is always eventually granted — no
+ * barriers, no deadlock.
+ */
+
+#ifndef ATHENA_SIM_PARALLEL_STEP_HH
+#define ATHENA_SIM_PARALLEL_STEP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace athena
+{
+
+/**
+ * Shared-step commit order: one (core, pre-step frontier) entry per
+ * step that touched shared state, in commit order. Recorded by both
+ * engines when attached via Simulator::setSharedStepLog, so tests
+ * can assert the parallel engine reproduces the sequential
+ * schedule verbatim.
+ */
+using SharedStepLog = std::vector<std::pair<unsigned, Cycle>>;
+
+class ParallelStepper
+{
+  public:
+    explicit ParallelStepper(unsigned cores, SharedStepLog *log_sink)
+        : slots(cores), log(log_sink), n(cores)
+    {}
+
+    ParallelStepper(const ParallelStepper &) = delete;
+    ParallelStepper &operator=(const ParallelStepper &) = delete;
+
+    /**
+     * Publish core @p core's pre-step frontier and open a new step.
+     * The release-store doubles as the previous step's grant
+     * release: it orders every shared-state write that step made
+     * before any other core's grant that observes the new bound.
+     */
+    void
+    beginStep(unsigned core, Cycle pre_step_now)
+    {
+        Slot &s = slots[core];
+        s.granted = false;
+        s.bound.store(pre_step_now, std::memory_order_release);
+    }
+
+    /**
+     * Block until core @p core owns the shared-state turn for its
+     * current step (idempotent within a step). On return, every
+     * shared access the sequential schedule orders before this
+     * step has committed and is visible, and no other core will
+     * touch shared state until this core's next beginStep/finish.
+     */
+    void
+    ensureTurn(unsigned core)
+    {
+        Slot &s = slots[core];
+        if (s.granted)
+            return;
+        const Cycle key = s.bound.load(std::memory_order_relaxed);
+        unsigned spins = 0;
+        while (!turnReady(core, key)) {
+            // Brief pause burst for the fast handoff, then yield:
+            // stepping threads may outnumber hardware threads (the
+            // engine stays correct oversubscribed, e.g. under the
+            // single-CPU CI sandbox), where only yielding lets the
+            // turn holder run.
+            if (++spins > 128)
+                std::this_thread::yield();
+            else
+                cpuRelax();
+        }
+        s.granted = true;
+        if (log)
+            log->emplace_back(core, key);
+    }
+
+    /** True while the current step holds the turn (own thread). */
+    bool grantedThisStep(unsigned core) const
+    {
+        return slots[core].granted;
+    }
+
+    /**
+     * Remove a finished core (stream exhausted or budget reached)
+     * from every other core's wait condition. The release-store
+     * publishes the core's final shared-state writes.
+     */
+    void
+    finish(unsigned core)
+    {
+        slots[core].done.store(true, std::memory_order_release);
+    }
+
+  private:
+    /**
+     * One cache line per core: `bound` is written once per
+     * instruction by the owning thread and read only by parked
+     * cores, so the line stays exclusive to its owner during
+     * private stretches.
+     */
+    struct alignas(64) Slot
+    {
+        /** Pre-step frontier: a lower bound on every key this core
+         *  can still produce (frontiers are monotone). */
+        std::atomic<Cycle> bound{0};
+        std::atomic<bool> done{false};
+        /** Turn held for the current step. Owned by the core's own
+         *  thread; never read across threads. */
+        bool granted = false;
+    };
+
+    static void
+    cpuRelax()
+    {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield" ::: "memory");
+#else
+        std::this_thread::yield();
+#endif
+    }
+
+    /**
+     * Grant test: (key, core) must be the strict lexicographic
+     * minimum over all live cores' (bound, index) pairs. Reading a
+     * stale (smaller) bound is conservative — it can only delay the
+     * grant, never mis-order it — and the acquire on the bound that
+     * finally satisfies the test synchronizes with that core's
+     * release, making all earlier-keyed shared writes visible.
+     */
+    bool
+    turnReady(unsigned core, Cycle key) const
+    {
+        for (unsigned c = 0; c < n; ++c) {
+            if (c == core)
+                continue;
+            const Slot &s = slots[c];
+            if (s.done.load(std::memory_order_acquire))
+                continue;
+            Cycle b = s.bound.load(std::memory_order_acquire);
+            if (b < key || (b == key && c < core))
+                return false;
+        }
+        return true;
+    }
+
+    std::vector<Slot> slots;
+    SharedStepLog *log;
+    unsigned n;
+};
+
+} // namespace athena
+
+#endif // ATHENA_SIM_PARALLEL_STEP_HH

@@ -79,26 +79,25 @@ ExperimentRunner::ExperimentRunner(const RunBudget &run_budget)
 {}
 
 SimResult
-ExperimentRunner::runOne(const SystemConfig &config,
-                         const WorkloadSpec &spec) const
+ExperimentRunner::runCached(const SystemConfig &config,
+                            const std::vector<WorkloadSpec> &specs,
+                            std::uint64_t measured,
+                            std::uint64_t warm,
+                            const std::string &cache_key) const
 {
-    const std::uint64_t warm = budget.warmupInstructions;
     const std::string dir = snapshotDir();
     if (!dir.empty() && warm > 0) {
-        // Warmup-snapshot cache: keyed strictly by content — the
-        // config hash, the workload spec hash, and the warmup
-        // length — so a hit is guaranteed to be the exact state a
-        // fresh run would reach at its warmup boundary.
-        const std::string path =
-            dir + "/" + hex64(config.configKey()) + "-" +
-            hex64(workloadKey(spec)) + "-" + std::to_string(warm) +
-            ".asnp";
+        // Warmup-snapshot cache: keyed strictly by content (see
+        // the callers' key construction) — a hit is guaranteed to
+        // be the exact state a fresh run would reach at its warmup
+        // boundary.
+        const std::string path = dir + "/" + cache_key + ".asnp";
         std::error_code ec;
         if (std::filesystem::exists(path, ec)) {
             try {
-                Simulator sim(config, {spec}, path);
+                Simulator sim(config, specs, path);
                 RunPlan plan;
-                plan.measured = budget.simInstructions;
+                plan.measured = measured;
                 plan.warmup = warm;
                 return sim.run(plan);
             } catch (const SnapshotError &) {
@@ -107,8 +106,9 @@ ExperimentRunner::runOne(const SystemConfig &config,
                 // run, which overwrites it.
             }
         }
-        Simulator sim(config, {spec});
-        warmupSimulated.fetch_add(warm, std::memory_order_relaxed);
+        Simulator sim(config, specs);
+        warmupSimulated.fetch_add(warm * specs.size(),
+                                  std::memory_order_relaxed);
         // Write-to-temp + atomic rename so concurrent sweep workers
         // never observe (or resume from) a half-written snapshot.
         static std::atomic<std::uint64_t> tmpSeq{0};
@@ -117,7 +117,7 @@ ExperimentRunner::runOne(const SystemConfig &config,
             std::to_string(
                 tmpSeq.fetch_add(1, std::memory_order_relaxed));
         RunPlan plan;
-        plan.measured = budget.simInstructions;
+        plan.measured = measured;
         plan.warmup = warm;
         plan.snapshotAfterWarmup = tmp;
         SimResult res = sim.run(plan);
@@ -125,12 +125,47 @@ ExperimentRunner::runOne(const SystemConfig &config,
         return res;
     }
 
-    Simulator sim(config, {spec});
-    warmupSimulated.fetch_add(warm, std::memory_order_relaxed);
+    Simulator sim(config, specs);
+    warmupSimulated.fetch_add(warm * specs.size(),
+                              std::memory_order_relaxed);
     RunPlan plan;
-    plan.measured = budget.simInstructions;
+    plan.measured = measured;
     plan.warmup = warm;
     return sim.run(plan);
+}
+
+SimResult
+ExperimentRunner::runOne(const SystemConfig &config,
+                         const WorkloadSpec &spec) const
+{
+    // Key: config hash, workload spec hash, warmup length
+    // (unchanged from when runOne carried the cache inline, so
+    // existing cache directories stay valid).
+    const std::uint64_t warm = budget.warmupInstructions;
+    return runCached(config, {spec}, budget.simInstructions, warm,
+                     hex64(config.configKey()) + "-" +
+                         hex64(workloadKey(spec)) + "-" +
+                         std::to_string(warm));
+}
+
+SimResult
+ExperimentRunner::runMix(const SystemConfig &config,
+                         const std::vector<WorkloadSpec> &specs) const
+{
+    // Mix key: config hash plus an order-sensitive combination of
+    // the per-core workload hashes (core assignment matters — the
+    // mix [a,b] is not the mix [b,a]) plus the mix warmup length.
+    std::uint64_t mix_key = 1469598103934665603ull;
+    for (const WorkloadSpec &s : specs) {
+        mix_key ^= workloadKey(s);
+        mix_key *= 1099511628211ull;
+    }
+    const std::uint64_t warm = budget.mcWarmupInstructions;
+    return runCached(config, specs, budget.mcSimInstructions, warm,
+                     hex64(config.configKey()) + "-mix" +
+                         std::to_string(specs.size()) + "-" +
+                         hex64(mix_key) + "-" +
+                         std::to_string(warm));
 }
 
 double
@@ -256,13 +291,8 @@ ExperimentRunner::mixSpeedup(const SystemConfig &config,
     SystemConfig base = config;
     base.policy = PolicyKind::kAllOff;
 
-    Simulator base_sim(base, mix_specs);
-    SimResult base_res = base_sim.run(budget.mcSimInstructions,
-                                      budget.mcWarmupInstructions);
-
-    Simulator sim(config, mix_specs);
-    SimResult res = sim.run(budget.mcSimInstructions,
-                            budget.mcWarmupInstructions);
+    SimResult base_res = runMix(base, mix_specs);
+    SimResult res = runMix(config, mix_specs);
 
     std::vector<double> per_core;
     for (std::size_t c = 0; c < res.cores.size(); ++c) {

@@ -12,13 +12,14 @@
  * environment variables (see RunBudget::fromEnv) so the benches
  * scale from smoke-test to full-fidelity.
  *
- * When ATHENA_SNAPSHOT_DIR names a writable directory, single-core
- * runs additionally cache their post-warmup state as ASNP snapshots
- * keyed by (config hash, workload hash, warmup length): the first
- * run of a (config, workload) pair simulates the warmup and
- * snapshots it; every later run — e.g. the same sweep at a new
- * policy configuration that shares the baseline — resumes from the
- * snapshot and simulates only the measured window.
+ * When ATHENA_SNAPSHOT_DIR names a writable directory, runs
+ * additionally cache their post-warmup state as ASNP snapshots
+ * keyed by (config hash, workload hash(es), warmup length): the
+ * first run of a (config, workload) pair — or multi-core mix, via
+ * runMix — simulates the warmup and snapshots it; every later run
+ * — e.g. the same sweep at a new policy configuration that shares
+ * the baseline — resumes from the snapshot and simulates only the
+ * measured window.
  */
 
 #ifndef ATHENA_SIM_RUNNER_HH
@@ -133,17 +134,30 @@ class ExperimentRunner
               const std::set<std::string> &adverse);
 
     /**
+     * Run one multi-core mix (one spec per core) at the mix
+     * budget, through the same ATHENA_SNAPSHOT_DIR warmup cache as
+     * runOne — keyed by (config hash, order-sensitive combination
+     * of the per-core workload hashes, mix warmup length) — so the
+     * per-figure multi-core benches stop re-simulating warmup on
+     * every invocation.
+     */
+    SimResult runMix(const SystemConfig &config,
+                     const std::vector<WorkloadSpec> &specs) const;
+
+    /**
      * Multi-core mix speedup: geomean over cores of per-core IPC
-     * relative to the same mix under the all-off policy.
+     * relative to the same mix under the all-off policy. Both runs
+     * go through the runMix warmup cache.
      */
     double mixSpeedup(const SystemConfig &config,
                       const std::vector<WorkloadSpec> &mix_specs);
 
     /**
-     * Warmup instructions this runner actually simulated in
-     * single-workload runs (runOne). A run resumed from a
-     * warmup-snapshot cache hit contributes nothing — which is how
-     * the tests verify the cache really skips warmup simulation.
+     * Warmup instructions this runner actually simulated, summed
+     * over cores (runOne counts its single core, runMix counts
+     * every core of the mix). A run resumed from a warmup-snapshot
+     * cache hit contributes nothing — which is how the tests
+     * verify the cache really skips warmup simulation.
      */
     std::uint64_t
     warmupInstructionsSimulated() const
@@ -152,6 +166,14 @@ class ExperimentRunner
     }
 
   private:
+    /** Shared warmup-snapshot-cache machinery behind runOne and
+     *  runMix: resume from dir/cache_key.asnp when present, else
+     *  simulate warmup and publish the snapshot (temp + rename). */
+    SimResult runCached(const SystemConfig &config,
+                        const std::vector<WorkloadSpec> &specs,
+                        std::uint64_t measured, std::uint64_t warm,
+                        const std::string &cache_key) const;
+
     /**
      * Reader-writer lock: cache hits (the overwhelmingly common
      * case in fleet sweeps) take a shared lock and proceed in

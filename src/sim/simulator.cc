@@ -10,16 +10,19 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "athena/agent.hh"
 #include "coord/simple.hh"
 #include "coord/tlp.hh"
 #include "sim/step_picker.hh"
+#include "sim/thread_pool.hh"
 #include "snapshot/snapshot.hh"
 
 namespace athena
@@ -339,8 +342,12 @@ Simulator::triggerLevel(unsigned core, CacheLevel level,
     // whole window drains in one batched call below. Outside
     // trigger windows the queue is empty (demand/OCP/store traffic
     // goes through the scalar serve() shim), so the global request
-    // order is exactly the scalar issue order.
-    assert(dram->pendingRequests() == 0);
+    // order is exactly the scalar issue order. Under the parallel
+    // engine the queue may only be inspected while this core holds
+    // the shared-state turn (another core's window owns it
+    // otherwise).
+    assert((par && !par->grantedThisStep(core)) ||
+           dram->pendingRequests() == 0);
     PrefetchFillBatch batch;
     // Candidate buffer on the stack of the access path: no heap
     // traffic, and the tag-dispatched observe() below is a direct
@@ -421,30 +428,36 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
         PrefetchFillBatch::Entry patch{};
         if (cc.l2.touch(l2ref)) {
             ready = cycle + latL2;
-        } else if (llc->touch(line)) {
-            ready = cycle + latLlc;
         } else {
-            // Off-chip: enqueue on the controller queue and fill
-            // every level eagerly with a provisional readyAt — the
-            // real completion cycle is patched in when the trigger
-            // window drains (drainPrefetchFills). Cache state
-            // otherwise evolves exactly as under scalar service:
-            // same probe order, same fills, same victims, same LRU
-            // stamps.
-            if (batch.full())
-                drainPrefetchFills(cc, batch);
-            dram->enqueue(cycle + latLlc, line,
-                          AccessType::kPrefetch);
-            ready = kPendingReady;
-            from_dram = true;
-            const CacheRef llcref = llc->ref(line);
-            CacheEviction ev = llc->fill(llcref, cycle, ready, true,
-                                         kNoFeedbackSlot, 0, true);
-            patch.llc =
-                PrefetchFillBatch::target(llcref, ev.filledWay);
-            handleLlcEviction(core, ev);
-            if (cc.ocp)
-                cc.ocp->onFill(line);
+            // First shared-resource touch on this path.
+            sharedTurn(core);
+            if (llc->touch(line)) {
+                ready = cycle + latLlc;
+            } else {
+                // Off-chip: enqueue on the controller queue and
+                // fill every level eagerly with a provisional
+                // readyAt — the real completion cycle is patched in
+                // when the trigger window drains
+                // (drainPrefetchFills). Cache state otherwise
+                // evolves exactly as under scalar service: same
+                // probe order, same fills, same victims, same LRU
+                // stamps.
+                if (batch.full())
+                    drainPrefetchFills(cc, batch);
+                dram->enqueue(cycle + latLlc, line,
+                              AccessType::kPrefetch);
+                ready = kPendingReady;
+                from_dram = true;
+                const CacheRef llcref = llc->ref(line);
+                CacheEviction ev =
+                    llc->fill(llcref, cycle, ready, true,
+                              kNoFeedbackSlot, 0, true);
+                patch.llc =
+                    PrefetchFillBatch::target(llcref, ev.filledWay);
+                handleLlcEviction(core, ev);
+                if (cc.ocp)
+                    cc.ocp->onFill(line);
+            }
         }
         // Fill the intermediate L2 on an off-chip prefetch path.
         if (from_dram) {
@@ -480,6 +493,8 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
         }
         const CacheRef llcref = llc->ref(line);
         PrefetchFillBatch::Entry patch{};
+        // First shared-resource touch on the L2C prefetch path.
+        sharedTurn(core);
         if (llc->touch(llcref)) {
             ready = cycle + latLlc;
         } else {
@@ -576,6 +591,10 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
                 cc.l1.fill(l1ref, issue, completion, false);
             } else {
                 const CacheRef llcref = llc->ref(line);
+                // Leaving the private L1/L2 hierarchy: the LLC
+                // lookup (and any DRAM service behind it) must
+                // commit in the sequential schedule's order.
+                sharedTurn(core);
                 CacheLookup llcres = llc->access(llcref, issue);
                 if (llcres.hit) {
                     dispatchPrefetchFeedbackUsed(core, llcres,
@@ -624,7 +643,10 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
     }
 
     // A false-positive OCP prediction wasted one DRAM transfer.
+    // Reachable without a prior LLC touch (on-chip hit), so it
+    // takes the shared-state turn itself.
     if (ocp_pred && !went_offchip) {
+        sharedTurn(core);
         dram->serve(issue + cfg.ocpIssueLatency, line,
                     AccessType::kOcp);
     }
@@ -677,6 +699,8 @@ Simulator::doStore(unsigned core, std::uint64_t pc, Addr addr,
         return;
     }
     const CacheRef llcref = llc->ref(line);
+    // Leaving the private hierarchy (store walk).
+    sharedTurn(core);
     CacheLookup llcres = llc->access(llcref, cycle);
     if (llcres.hit) {
         dispatchPrefetchFeedbackUsed(core, llcres, cycle);
@@ -717,6 +741,10 @@ Simulator::maybeEndEpoch(unsigned core)
     stats.branchMispredicts =
         cs.branchMispredicts - cc.epochStartCounters.branchMispredicts;
 
+    // The epoch summary samples global DRAM counters; that read
+    // must see exactly the traffic the sequential schedule ordered
+    // before this step.
+    sharedTurn(core);
     const DramCounters &life = dram->lifetime();
     stats.dramDemand = life.demandRequests - cc.lastDram.demandRequests;
     stats.dramPrefetch =
@@ -784,22 +812,7 @@ Simulator::run(const RunPlan &plan)
     bool want_snapshot = !plan.snapshotAfterWarmup.empty();
 
     auto check_warmup = [&](unsigned c) {
-        CoreCtx &cc = *coreCtxs[c];
-        if (!measure.started[c] &&
-            cc.core->retired() >= warmup_per_core) {
-            measure.started[c] = 1;
-            measure.starts[c] = {cc.core->retired(), cc.core->now(),
-                                 cc.core->counters().loads,
-                                 cc.core->counters().stores,
-                                 cc.core->counters().branchMispredicts,
-                                 cc.llcMissesTotal,
-                                 cc.llcMissLatencyTotal};
-            if (!measure.anyStarted) {
-                measure.anyStarted = true;
-                measure.dramAtStart = dram->lifetime();
-                measure.maxNowAtStart = cc.core->now();
-            }
-        }
+        checkWarmup(c, warmup_per_core);
     };
 
     // The warmup-snapshot cut: the first inter-step point at which
@@ -844,15 +857,17 @@ Simulator::run(const RunPlan &plan)
         if (!cc.core->finished() && cc.core->retired() < total)
             cc.core->stepN(total - cc.core->retired());
     } else {
-        // Step the globally least-advanced unfinished core to keep
-        // the cores loosely synchronized so shared-resource
-        // contention is meaningful. The picker is an indexed
-        // min-heap: O(log cores) per step instead of an O(cores)
-        // rescan, with deterministic lowest-index-first ties. The
-        // inner loop keeps stepping the picked core while it would
-        // be re-picked anyway (stillTop), so batch-pulled cores pay
-        // one heap sift per *burst* rather than per instruction —
-        // the stepping order is bit-identical to the
+        const bool use_par = useParallelEngine(plan);
+
+        // Sequential engine: step the globally least-advanced
+        // unfinished core to keep the cores loosely synchronized so
+        // shared-resource contention is meaningful. The picker is
+        // an indexed min-heap: O(log cores) per step instead of an
+        // O(cores) rescan, with deterministic lowest-index-first
+        // ties. The inner loop keeps stepping the picked core while
+        // it would be re-picked anyway (stillTop), so batch-pulled
+        // cores pay one heap sift per *burst* rather than per
+        // instruction — the stepping order is bit-identical to the
         // one-instruction-per-pick schedule.
         // A core retires from the pick set either at its
         // instruction budget or the moment its finite stream
@@ -871,38 +886,74 @@ Simulator::run(const RunPlan &plan)
         // at the cut. Cores that had already left the pick set
         // (stream exhausted, or budget reached under this plan) are
         // finished out before the loop starts.
-        StepPicker picker(cfg.cores);
-        for (unsigned c = 0; c < cfg.cores; ++c)
-            picker.advance(c, coreCtxs[c]->core->now());
-        for (unsigned c = 0; c < cfg.cores; ++c) {
-            CoreCtx &cc = *coreCtxs[c];
-            if (cc.core->finished() || cc.core->retired() >= total)
-                picker.finish(c);
-        }
-        while (!picker.empty()) {
-            unsigned pick = picker.top();
-            CoreCtx &cc = *coreCtxs[pick];
-            for (;;) {
-                if (cc.core->finished()) {
-                    picker.finish(pick);
-                    maybe_snapshot();
-                    break;
-                }
-                cc.core->step();
-                check_warmup(pick);
-                maybe_snapshot();
-                if (cc.core->retired() >= total) {
-                    picker.finish(pick);
-                    break;
-                }
-                if (!picker.stillTop(pick, cc.core->now())) {
-                    picker.advance(pick, cc.core->now());
-                    break;
+        //
+        // Under the parallel engine this loop still runs the
+        // pre-snapshot span: the warmup snapshot must be cut at the
+        // exact sequential inter-step boundary, which concurrently
+        // running cores would overshoot. until_snapshot makes it
+        // return at that boundary (any inter-step point resumes
+        // bit-identically — the schedule is a pure function of the
+        // component state), handing the remainder to the parallel
+        // engine.
+        auto seq_engine = [&](bool until_snapshot) {
+            StepPicker picker(cfg.cores);
+            for (unsigned c = 0; c < cfg.cores; ++c)
+                picker.advance(c, coreCtxs[c]->core->now());
+            for (unsigned c = 0; c < cfg.cores; ++c) {
+                CoreCtx &cc = *coreCtxs[c];
+                if (cc.core->finished() ||
+                    cc.core->retired() >= total) {
+                    picker.finish(c);
                 }
             }
-        }
-        // All streams may exhaust before any warmup crossing; the
-        // snapshot request is still honored at the terminal state.
+            const bool logging = stepLog != nullptr;
+            while (!picker.empty()) {
+                unsigned pick = picker.top();
+                CoreCtx &cc = *coreCtxs[pick];
+                for (;;) {
+                    if (cc.core->finished()) {
+                        picker.finish(pick);
+                        maybe_snapshot();
+                        break;
+                    }
+                    if (logging) {
+                        // Open the oracle record for this step:
+                        // its key is the pre-step frontier, the
+                        // same (now, core) pair the picker ordered
+                        // by and the parallel engine's bound.
+                        seqLogKey = cc.core->now();
+                        seqLogOpen = true;
+                    }
+                    cc.core->step();
+                    check_warmup(pick);
+                    seqLogOpen = false;
+                    maybe_snapshot();
+                    if (until_snapshot && !want_snapshot)
+                        return;
+                    if (cc.core->retired() >= total) {
+                        picker.finish(pick);
+                        break;
+                    }
+                    if (!picker.stillTop(pick, cc.core->now())) {
+                        picker.advance(pick, cc.core->now());
+                        break;
+                    }
+                }
+                if (until_snapshot && !want_snapshot)
+                    return;
+            }
+            // All streams may exhaust before any warmup crossing;
+            // the snapshot request is still honored at the
+            // terminal state.
+            maybe_snapshot();
+        };
+
+        if (!use_par)
+            seq_engine(false);
+        else if (want_snapshot)
+            seq_engine(true);
+        if (use_par)
+            runMultiParallel(total, warmup_per_core);
         maybe_snapshot();
     }
 
@@ -955,6 +1006,119 @@ Simulator::run(const RunPlan &plan)
         std::min(1.0, static_cast<double>(result.dram.busBusyCycles) /
                           static_cast<double>(window));
     return result;
+}
+
+void
+Simulator::checkWarmup(unsigned c, std::uint64_t warmup_per_core)
+{
+    CoreCtx &cc = *coreCtxs[c];
+    if (measure.started[c] || cc.core->retired() < warmup_per_core)
+        return;
+    // The per-core start sample touches only this core's state and
+    // needs no ordering.
+    measure.started[c] = 1;
+    measure.starts[c] = {cc.core->retired(), cc.core->now(),
+                         cc.core->counters().loads,
+                         cc.core->counters().stores,
+                         cc.core->counters().branchMispredicts,
+                         cc.llcMissesTotal,
+                         cc.llcMissLatencyTotal};
+    // The global measurement anchor (DRAM counters, wall-clock
+    // frontier) is shared state: sample it in commit order so the
+    // first core to cross warmup — first in the *schedule*, not in
+    // wall-clock arrival — anchors the window, exactly as under
+    // the sequential engine.
+    sharedTurn(c);
+    if (!measure.anyStarted) {
+        measure.anyStarted = true;
+        measure.dramAtStart = dram->lifetime();
+        measure.maxNowAtStart = cc.core->now();
+    }
+}
+
+void
+Simulator::seqLogCommit(unsigned core)
+{
+    seqLogOpen = false;
+    stepLog->emplace_back(core, seqLogKey);
+}
+
+unsigned
+Simulator::resolveStepThreads(const RunPlan &plan)
+{
+    unsigned t = plan.stepThreads;
+    if (t == 0) {
+        if (const char *env = std::getenv("ATHENA_STEP_THREADS")) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0')
+                t = static_cast<unsigned>(v);
+        }
+    }
+    if (t == 0) {
+        t = std::thread::hardware_concurrency();
+        if (t == 0)
+            t = 1;
+    }
+    return t;
+}
+
+bool
+Simulator::useParallelEngine(const RunPlan &plan) const
+{
+    if (cfg.cores < 2)
+        return false;
+    // Never stack per-core stepping threads on top of a fleet of
+    // concurrent simulations (ExperimentRunner::parallelFor): the
+    // fleet already owns the host's parallelism, and a nested
+    // ThreadPool::run would execute inline-serially and leave the
+    // stepping cores parked forever.
+    if (ThreadPool::onWorkerThread() || ThreadPool::inPooledRun())
+        return false;
+    return resolveStepThreads(plan) >= cfg.cores;
+}
+
+void
+Simulator::runMultiParallel(std::uint64_t total_per_core,
+                            std::uint64_t warmup_per_core)
+{
+    ParallelStepper stepper(cfg.cores, stepLog);
+    par = &stepper;
+
+    auto worker = [&](std::size_t idx) {
+        const unsigned c = static_cast<unsigned>(idx);
+        CoreCtx &cc = *coreCtxs[c];
+        CoreModel &core = *cc.core;
+        while (!core.finished() &&
+               core.retired() < total_per_core) {
+            // The bound publication is simultaneously this step's
+            // park key, the other cores' lookahead heartbeat, and
+            // the previous step's grant release.
+            stepper.beginStep(c, core.now());
+            core.step();
+            checkWarmup(c, warmup_per_core);
+        }
+        stepper.finish(c);
+    };
+
+    // Vehicle: the persistent pool when it is wide enough for
+    // thread-per-core stepping (its workers plus this thread),
+    // dedicated threads otherwise — parked cores only spin/yield,
+    // so correctness never depends on the host actually having
+    // cores many hardware threads.
+    ThreadPool &pool = ThreadPool::instance();
+    if (pool.workerCount() + 1 >= cfg.cores) {
+        pool.run(cfg.cores, worker);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(cfg.cores - 1);
+        for (unsigned c = 1; c < cfg.cores; ++c)
+            threads.emplace_back(worker, c);
+        worker(0);
+        for (auto &t : threads)
+            t.join();
+    }
+    par = nullptr;
 }
 
 namespace

@@ -27,6 +27,7 @@
 #include "mem/dram.hh"
 #include "ocp/ocp.hh"
 #include "prefetch/prefetcher.hh"
+#include "sim/parallel_step.hh"
 #include "sim/system_config.hh"
 #include "trace/workload.hh"
 
@@ -137,10 +138,36 @@ struct SimResult
  */
 struct RunPlan
 {
+    RunPlan() = default;
+    /** The common case: measured + warmup, defaults elsewhere. */
+    RunPlan(std::uint64_t measured_instr, std::uint64_t warmup_instr)
+        : measured(measured_instr), warmup(warmup_instr)
+    {}
+
     std::uint64_t measured = 0;
     std::uint64_t warmup = 0;
     /** Snapshot destination path; empty = no snapshot. */
     std::string snapshotAfterWarmup;
+    /**
+     * Stepping thread budget for multi-core runs.
+     *
+     *   0       auto: honor ATHENA_STEP_THREADS if set, else use
+     *           std::thread::hardware_concurrency() — i.e. the
+     *           parallel engine is on by default for cores >= 2
+     *           whenever the host has enough hardware threads.
+     *   1       force the sequential StepPicker engine.
+     *   >= cores  run the parallel engine (one stepping context
+     *           per core).
+     *
+     * Values in (1, cores) fall back to sequential: the engine is
+     * thread-per-core and does not multiplex cores onto fewer
+     * threads. Either engine produces bit-identical results; the
+     * knob only selects the execution strategy. The parallel
+     * engine also self-disables inside ExperimentRunner fleets
+     * (ThreadPool::onWorkerThread/inPooledRun) so fleet parallelism
+     * is never oversubscribed, and for single-core runs.
+     */
+    unsigned stepThreads = 0;
 };
 
 /**
@@ -198,18 +225,15 @@ class Simulator
     SimResult run(const RunPlan &plan);
 
     /**
-     * Deprecated shim for the pre-RunPlan signature; forwards to
-     * run(RunPlan). Prefer the RunPlan overload in new code.
+     * Attach a shared-step commit-order log (test oracle). Both
+     * engines append one (core, pre-step frontier) entry per
+     * multi-core step that touches the shared LLC/DRAM, in commit
+     * order; the parallel engine must reproduce the sequential
+     * engine's log verbatim. Must be set before run(); the caller
+     * owns the vector. Single-core runs record nothing (there is
+     * no cross-core schedule to verify).
      */
-    SimResult
-    run(std::uint64_t instructions_per_core,
-        std::uint64_t warmup_per_core)
-    {
-        RunPlan plan;
-        plan.measured = instructions_per_core;
-        plan.warmup = warmup_per_core;
-        return run(plan);
-    }
+    void setSharedStepLog(SharedStepLog *log) { stepLog = log; }
 
     /**
      * Write the complete simulator state — every core, cache,
@@ -253,6 +277,39 @@ class Simulator
                                       Cycle demand_cycle);
     void maybeEndEpoch(unsigned core);
 
+    // Parallel stepping engine (tentpole of PR 7; see
+    // parallel_step.hh for the determinism argument).
+    /** Effective stepping-thread budget for @p plan (knob doc on
+     *  RunPlan::stepThreads). */
+    static unsigned resolveStepThreads(const RunPlan &plan);
+    /** True when this run should use the parallel engine. */
+    bool useParallelEngine(const RunPlan &plan) const;
+    /** Step all cores to completion concurrently, bit-identically
+     *  to the sequential schedule. */
+    void runMultiParallel(std::uint64_t total_per_core,
+                          std::uint64_t warmup_per_core);
+    /** Latch a core's measurement-window start once it crosses the
+     *  warmup boundary (engine-agnostic; ordered via sharedTurn). */
+    void checkWarmup(unsigned core, std::uint64_t warmup_per_core);
+
+    /**
+     * Shared-state gate, called at every LLC/DRAM touch point on
+     * the memory path. Under the parallel engine it parks the core
+     * until its step's turn in the sequential commit order; under
+     * the sequential engine it only feeds the commit-order oracle.
+     * No-op (one predicted branch) when neither is active.
+     */
+    void
+    sharedTurn(unsigned core)
+    {
+        if (par)
+            par->ensureTurn(core);
+        else if (stepLog && seqLogOpen)
+            seqLogCommit(core);
+    }
+
+    void seqLogCommit(unsigned core);
+
     // Snapshot plumbing (section layout in simulator.cc).
     void saveTo(SnapshotWriter &w) const;
     void restoreFrom(SnapshotReader &r);
@@ -287,6 +344,14 @@ class Simulator
     std::vector<std::unique_ptr<CoreCtx>> coreCtxs;
 
     MeasureState measure;
+    /** Active parallel-stepping coordinator, or null (sequential). */
+    ParallelStepper *par = nullptr;
+    /** Commit-order oracle sink (tests), or null. */
+    SharedStepLog *stepLog = nullptr;
+    /** Sequential-engine oracle bookkeeping: the in-flight step's
+     *  key and whether it already logged a shared touch. */
+    Cycle seqLogKey = 0;
+    bool seqLogOpen = false;
     /** True when this instance was restored from a snapshot. */
     bool resumed = false;
     /** Warmup length the snapshot (or current run) was taken at. */

@@ -28,6 +28,12 @@ ThreadPool::onWorkerThread()
     return tls_on_worker;
 }
 
+bool
+ThreadPool::inPooledRun()
+{
+    return tls_in_run;
+}
+
 ThreadPool &
 ThreadPool::instance()
 {

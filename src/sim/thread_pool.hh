@@ -58,6 +58,16 @@ class ThreadPool
     /** True when called from inside a pool worker. */
     static bool onWorkerThread();
 
+    /**
+     * True while THIS thread is draining its own run() submission
+     * (between submit and completion). Together with
+     * onWorkerThread() this identifies every thread that is already
+     * part of a pooled fleet — the parallel stepping engine checks
+     * both and falls back to sequential stepping there rather than
+     * oversubscribing the host with per-core threads.
+     */
+    static bool inPooledRun();
+
   private:
     ThreadPool();
 

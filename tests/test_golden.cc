@@ -125,7 +125,7 @@ runSingle(CacheDesign design, PolicyKind policy, const char *wl)
 {
     SystemConfig cfg = makeDesignConfig(design, policy);
     Simulator sim(cfg, {pickWorkload(wl)});
-    return fingerprint(sim.run(kInstr, kWarmup));
+    return fingerprint(sim.run({kInstr, kWarmup}));
 }
 
 // Expected fingerprints, captured from the PR 1 engine (seeds and

@@ -54,7 +54,7 @@ TEST_P(WorkloadInvariants, HoldUnderNaiveCd1)
     SystemConfig cfg =
         makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
     Simulator sim(cfg, {GetParam()});
-    SimResult res = sim.run(30000, 8000);
+    SimResult res = sim.run({30000, 8000});
     checkInvariants(res, 30000);
 }
 
@@ -65,7 +65,7 @@ TEST_P(WorkloadInvariants, MemoryIntensiveEnough)
     SystemConfig cfg =
         makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAllOff);
     Simulator sim(cfg, {GetParam()});
-    SimResult res = sim.run(30000, 8000);
+    SimResult res = sim.run({30000, 8000});
     double mpki = 1000.0 *
                   static_cast<double>(res.cores[0].llcMisses) /
                   static_cast<double>(res.cores[0].instructions);
@@ -116,7 +116,7 @@ TEST(ConfigFuzz, RandomConfigurationsAreWellFormed)
         const WorkloadSpec &spec =
             workloads[rng.below(workloads.size())];
         Simulator sim(cfg, {spec});
-        SimResult res = sim.run(15000, 4000);
+        SimResult res = sim.run({15000, 4000});
         checkInvariants(res, 15000);
     }
 }
@@ -130,7 +130,7 @@ TEST(ConfigFuzz, EpochLengthSweepIsStable)
             makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
         cfg.epochInstructions = epoch;
         Simulator sim(cfg, {spec});
-        SimResult res = sim.run(20000, 5000);
+        SimResult res = sim.run({20000, 5000});
         checkInvariants(res, 20000);
     }
 }
@@ -148,7 +148,7 @@ TEST(ConfigFuzz, AllCacheDesignsRunAllPolicies)
               PolicyKind::kAthena}) {
             SystemConfig cfg = makeDesignConfig(design, policy);
             Simulator sim(cfg, {spec});
-            SimResult res = sim.run(10000, 2000);
+            SimResult res = sim.run({10000, 2000});
             checkInvariants(res, 10000);
         }
     }

@@ -59,7 +59,7 @@ SimResult
 run(SystemConfig cfg, const WorkloadSpec &spec)
 {
     Simulator sim(cfg, {spec});
-    return sim.run(kInstr, kWarmup);
+    return sim.run({kInstr, kWarmup});
 }
 
 TEST(Simulator, AllOffIssuesNoSpeculativeTraffic)
@@ -176,7 +176,7 @@ TEST(Simulator, MulticoreContendsForBandwidth)
     quad.cores = 4;
     std::vector<WorkloadSpec> specs(4, streamSpec());
     Simulator sim(quad, specs);
-    SimResult res = sim.run(kInstr / 2, kWarmup / 2);
+    SimResult res = sim.run({kInstr / 2, kWarmup / 2});
     ASSERT_EQ(res.cores.size(), 4u);
     for (const auto &core : res.cores) {
         EXPECT_LT(core.ipc, ipc_solo * 1.02)

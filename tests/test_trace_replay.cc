@@ -244,7 +244,7 @@ TEST(TraceReplaySim, SingleCoreTerminatesWithExactCounts)
         Simulator sim(cfg, {spec});
         // Budget far beyond the trace: termination must come from
         // the exhausted-stream contract, not the budget.
-        return sim.run(1000000, 100);
+        return sim.run({1000000, 100});
     };
     SimResult a = run_once();
     ASSERT_EQ(a.cores.size(), 1u);
@@ -267,7 +267,7 @@ TEST(TraceReplaySim, SingleCoreExhaustsBeforeWarmup)
     SystemConfig cfg =
         makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
     Simulator sim(cfg, {spec});
-    SimResult res = sim.run(1000, 5000);
+    SimResult res = sim.run({1000, 5000});
     EXPECT_TRUE(res.cores[0].streamExhausted);
     EXPECT_EQ(res.cores[0].completedInstructions, 400u);
     EXPECT_EQ(res.cores[0].instructions, 400u);
@@ -290,7 +290,7 @@ TEST(TraceReplaySim, FourCoreStaggeredExhaustionIsDeterministic)
 
     auto run_once = [&] {
         Simulator sim(cfg, specs);
-        return sim.run(1000000, 0);
+        return sim.run({1000000, 0});
     };
     SimResult a = run_once();
     ASSERT_EQ(a.cores.size(), 4u);
@@ -318,7 +318,7 @@ TEST(TraceReplaySim, FiniteAndInfiniteCoresMix)
         makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
     cfg.cores = 2;
     Simulator sim(cfg, specs);
-    SimResult res = sim.run(2000, 0);
+    SimResult res = sim.run({2000, 0});
     EXPECT_TRUE(res.cores[0].streamExhausted);
     EXPECT_EQ(res.cores[0].completedInstructions, 512u);
     EXPECT_FALSE(res.cores[1].streamExhausted);
@@ -335,7 +335,7 @@ TEST(TraceReplaySim, LoopedReplayFeedsFixedInstructionRuns)
     SystemConfig cfg =
         makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive);
     Simulator sim(cfg, {spec});
-    SimResult res = sim.run(20000, 1000);
+    SimResult res = sim.run({20000, 1000});
     EXPECT_FALSE(res.cores[0].streamExhausted);
     EXPECT_EQ(res.cores[0].completedInstructions, 21000u);
     EXPECT_EQ(res.cores[0].instructions, 20000u);
