@@ -12,8 +12,10 @@
  * chasing (OCP + DRAM model dominate), the full learning stack
  * (Athena agent in the loop, including a short-epoch policy-heavy
  * case and a two-prefetcher CD3 case), and multi-core mixes — 4-core
- * synthetic, the 8-core Fig-16 shape, and a 4-core trace-replay mix
- * (the multi-core stepping engines plus shared LLC/DRAM contention).
+ * synthetic, the 8-core Fig-16 shape, a 4-core trace-replay mix
+ * (the multi-core stepping engines plus shared LLC/DRAM contention),
+ * and the 16/32-core sharded presets (banked LLC + channeled DRAM
+ * via makeManyCoreConfig — the scaled shared-memory plane).
  *
  * Measurement modes:
  *  - Repeats: every case runs ATHENA_BENCH_REPEATS times (default
@@ -39,6 +41,8 @@
  *  - ATHENA_BENCH_REPEATS  repeats per case (default 3; 1 in CI)
  *  - ATHENA_AB_BASELINE    path to a pinned baseline bench binary
  *  - ATHENA_BENCH_JSON     output path (default BENCH_throughput.json)
+ *  - ATHENA_BENCH_FILTER   substring filter: run only cases whose
+ *                          name contains it (CI smoke runs)
  */
 
 #include <algorithm>
@@ -316,6 +320,26 @@ main(int argc, char **argv)
         cfg.cores = 8;
         cases.push_back({"mc8_cd1_athena_fig16_mix", cfg, mix8, 8});
     }
+    // 16/32-core sharded presets: the scaled shared-memory plane
+    // (banked LLC + channeled DRAM). These are the configurations
+    // the sharding refactor exists for — wide parallel stepping
+    // with per-bank/per-channel shared state. Per-core budget
+    // shrinks with the core count so total simulated work stays
+    // comparable to the rest of the matrix.
+    {
+        auto strided = [&](std::size_t n) {
+            std::vector<WorkloadSpec> mix;
+            for (std::size_t i = 0; i < n; ++i)
+                mix.push_back(workloads[(i * workloads.size()) / n]);
+            return mix;
+        };
+        cases.push_back({"mc16_cd1_athena_sharded_mix",
+                         makeManyCoreConfig(16, CacheDesign::kCd1,
+                                            PolicyKind::kAthena),
+                         strided(16), 16});
+        cases.push_back({"mc32_cd1_naive_sharded_mix",
+                         makeManyCoreConfig(32), strided(32), 32});
+    }
     // Trace replay smoke: the checked-in sample looped infinitely,
     // so the TraceFile decode + replay refill path sits in the
     // guarded throughput aggregate alongside the synthetic kernels.
@@ -370,6 +394,24 @@ main(int argc, char **argv)
             cases.push_back({"mc4_cd1_naive_trace_replay_mix", cfg,
                              {replay, alt, replay, alt}, 4});
         }
+    }
+
+    // Case filter (CI smoke): keep only names containing the
+    // substring. An empty match is a hard error — a typo'd filter
+    // silently benchmarking nothing would look like a perf miracle.
+    const char *filter_env = std::getenv("ATHENA_BENCH_FILTER");
+    if (filter_env && *filter_env) {
+        std::vector<Case> kept;
+        for (Case &c : cases) {
+            if (c.name.find(filter_env) != std::string::npos)
+                kept.push_back(std::move(c));
+        }
+        if (kept.empty()) {
+            std::cerr << "ATHENA_BENCH_FILTER='" << filter_env
+                      << "' matches no case\n";
+            return 1;
+        }
+        cases = std::move(kept);
     }
 
     // Interleaved repeats: A(all cases) B(baseline) A B ...

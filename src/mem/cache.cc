@@ -220,4 +220,60 @@ Cache::restoreState(SnapshotReader &r)
     }
 }
 
+BankedLlc::BankedLlc(const CacheParams &total_params,
+                     unsigned bank_count, bool force_division)
+    : total(total_params), decode(bank_count ? bank_count : 1,
+                                  force_division)
+{
+    assert(bank_count >= 1);
+    CacheParams per_bank = total_params;
+    per_bank.sizeBytes = total_params.sizeBytes / decode.count();
+    banks.reserve(decode.count());
+    for (std::uint64_t b = 0; b < decode.count(); ++b)
+        banks.emplace_back(per_bank);
+}
+
+void
+BankedLlc::reset()
+{
+    for (Cache &b : banks)
+        b.reset();
+}
+
+std::uint64_t
+BankedLlc::statHits() const
+{
+    std::uint64_t s = 0;
+    for (const Cache &b : banks)
+        s += b.statHits;
+    return s;
+}
+
+std::uint64_t
+BankedLlc::statMisses() const
+{
+    std::uint64_t s = 0;
+    for (const Cache &b : banks)
+        s += b.statMisses;
+    return s;
+}
+
+std::uint64_t
+BankedLlc::statPrefetchFills() const
+{
+    std::uint64_t s = 0;
+    for (const Cache &b : banks)
+        s += b.statPrefetchFills;
+    return s;
+}
+
+std::uint64_t
+BankedLlc::statUnusedPrefetchEvictions() const
+{
+    std::uint64_t s = 0;
+    for (const Cache &b : banks)
+        s += b.statUnusedPrefetchEvictions;
+    return s;
+}
+
 } // namespace athena

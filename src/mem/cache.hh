@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/shard.hh"
 
 namespace athena
 {
@@ -296,6 +297,118 @@ class Cache
      */
     std::vector<std::uint8_t> mruWay;
     std::vector<Line> lines; ///< sets * ways, row-major by set.
+};
+
+/**
+ * Precomputed lookup coordinates of one line in a banked LLC: the
+ * bank-local CacheRef plus the owning bank. The embedded ref's
+ * `line` field is the bank-local line number; callers that need the
+ * global line keep it themselves (they computed it).
+ */
+struct BankedRef
+{
+    CacheRef ref;      ///< Bank-local coordinates.
+    unsigned bank = 0; ///< Owning bank index.
+};
+
+/**
+ * The shared LLC as N line-interleaved banks (`bank = line mod N`,
+ * bank-local line = `line / N`), each a full Cache of 1/N the total
+ * capacity. With a power-of-two bank count the interleave is a pure
+ * re-labeling of the monolithic set index — bank bits + bank-local
+ * set bits reassemble the monolithic set index and the tags
+ * coincide — so lookup/fill/victim behavior is bit-identical across
+ * {1, 2, 4, ...} banks (pinned by test_shard_order.cc). Non-pow2
+ * counts decode through the exact reciprocal division and simply
+ * define a different (still valid) geometry.
+ *
+ * Bank-local evictions are translated back to global line numbers
+ * here, so downstream consumers (OCP eviction feed, pollution
+ * tracking) never see bank-local addresses.
+ */
+class BankedLlc
+{
+  public:
+    BankedLlc(const CacheParams &total, unsigned bank_count,
+              bool force_division = false);
+
+    unsigned bankCount() const
+    {
+        return static_cast<unsigned>(banks.size());
+    }
+    Cache &bank(unsigned i) { return banks[i]; }
+    const Cache &bank(unsigned i) const { return banks[i]; }
+
+    unsigned bankOf(Addr line_num) const
+    {
+        return static_cast<unsigned>(decode.shardOf(line_num));
+    }
+
+    /** Precompute the (bank, bank-local) coordinates of a line. */
+    BankedRef
+    ref(Addr line_num) const
+    {
+        const unsigned b = bankOf(line_num);
+        return {banks[b].ref(decode.localLine(line_num)), b};
+    }
+
+    CacheLookup
+    access(const BankedRef &r, Cycle now)
+    {
+        return banks[r.bank].access(r.ref, now);
+    }
+
+    bool
+    accessHitFast(const BankedRef &r, Cycle now, Cycle &ready)
+    {
+        return banks[r.bank].accessHitFast(r.ref, now, ready);
+    }
+
+    bool touch(const BankedRef &r)
+    {
+        return banks[r.bank].touch(r.ref);
+    }
+    bool touch(Addr line_num) { return touch(ref(line_num)); }
+
+    /** Insert a line; eviction addresses come back global. */
+    CacheEviction
+    fill(const BankedRef &r, Cycle now, Cycle ready_at,
+         bool is_prefetch, std::uint8_t pf_slot = 0,
+         std::uint64_t pf_meta = 0, bool pf_from_dram = false)
+    {
+        CacheEviction ev =
+            banks[r.bank].fill(r.ref, now, ready_at, is_prefetch,
+                               pf_slot, pf_meta, pf_from_dram);
+        if (ev.evictedValid)
+            ev.evictedLine =
+                decode.globalLine(ev.evictedLine, r.bank);
+        return ev;
+    }
+
+    void
+    patchReadyAt(unsigned bank_idx, std::size_t set_base,
+                 unsigned way, std::uint64_t key, Cycle ready_at)
+    {
+        banks[bank_idx].patchReadyAt(set_base, way, key, ready_at);
+    }
+
+    void reset();
+
+    /** Total-LLC parameters (capacity, latency) as configured. */
+    const CacheParams &params() const { return total; }
+
+    // Aggregated statistics (sum over banks; each global line maps
+    // to exactly one bank, so the sums equal the monolithic
+    // counters).
+    std::uint64_t statHits() const;
+    std::uint64_t statMisses() const;
+    std::uint64_t statPrefetchFills() const;
+    std::uint64_t statUnusedPrefetchEvictions() const;
+
+  private:
+    CacheParams total;
+    ShardDecode decode;
+    std::vector<Cache> banks;
 };
 
 } // namespace athena

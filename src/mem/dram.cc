@@ -338,4 +338,43 @@ Dram::restoreState(SnapshotReader &r)
     qSize = 0;
 }
 
+ChanneledDram::ChanneledDram(const DramParams &params,
+                             unsigned channel_count)
+    : decode(channel_count ? channel_count : 1,
+             params.forceDivisionDecode)
+{
+    if (channel_count < 1 || channel_count > kMaxChannels) {
+        throw std::invalid_argument(
+            "ChanneledDram channel count must be in [1, " +
+            std::to_string(kMaxChannels) + "], got " +
+            std::to_string(channel_count));
+    }
+    chans.reserve(channel_count);
+    for (unsigned ch = 0; ch < channel_count; ++ch)
+        chans.emplace_back(params);
+}
+
+const DramCounters &
+ChanneledDram::lifetime() const
+{
+    aggregate = DramCounters{};
+    for (const Dram &d : chans) {
+        const DramCounters &c = d.lifetime();
+        aggregate.demandRequests += c.demandRequests;
+        aggregate.prefetchRequests += c.prefetchRequests;
+        aggregate.ocpRequests += c.ocpRequests;
+        aggregate.rowHits += c.rowHits;
+        aggregate.rowMisses += c.rowMisses;
+        aggregate.busBusyCycles += c.busBusyCycles;
+    }
+    return aggregate;
+}
+
+void
+ChanneledDram::reset()
+{
+    for (Dram &d : chans)
+        d.reset();
+}
+
 } // namespace athena

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/shard.hh"
 
 namespace athena
 {
@@ -276,6 +277,112 @@ class Dram
 
     DramCounters window;
     DramCounters total;
+};
+
+/**
+ * Main memory as M line-interleaved independent channels
+ * (`channel = line mod M`, channel-local line = `line / M`), each a
+ * full Dram controller — own request queue, bank/row state, bus
+ * cursor, and counters — at the full per-channel bandwidth, so
+ * aggregate bandwidth scales with the channel count. One channel is
+ * bit-identical to the monolithic controller (the decode is the
+ * identity). Channel decode honors DramParams::forceDivisionDecode,
+ * and non-pow2 channel counts take the exact division path
+ * automatically.
+ *
+ * Enqueue returns a Ticket addressing the request's slot (channel +
+ * queue index) so batched producers can patch completions from the
+ * per-channel drain spans without assuming a single global queue.
+ */
+class ChanneledDram
+{
+  public:
+    /** Hard cap on the channel count (shard-id budget). */
+    static constexpr unsigned kMaxChannels = 32;
+
+    /** Where an enqueued request landed: channel + queue index. */
+    struct Ticket
+    {
+        std::uint16_t channel = 0;
+        std::uint32_t index = 0;
+    };
+
+    /**
+     * @throws std::invalid_argument when the channel count is
+     * outside [1, kMaxChannels] (per-channel parameter validation
+     * is the Dram constructor's).
+     */
+    ChanneledDram(const DramParams &params, unsigned channel_count);
+
+    unsigned channelCount() const
+    {
+        return static_cast<unsigned>(chans.size());
+    }
+    Dram &channel(unsigned i) { return chans[i]; }
+    const Dram &channel(unsigned i) const { return chans[i]; }
+
+    unsigned channelOf(Addr line_num) const
+    {
+        return static_cast<unsigned>(decode.shardOf(line_num));
+    }
+
+    Ticket
+    enqueue(Cycle arrival, Addr line_num, AccessType type)
+    {
+        const unsigned ch = channelOf(line_num);
+        Dram &d = chans[ch];
+        Ticket t{static_cast<std::uint16_t>(ch),
+                 static_cast<std::uint32_t>(d.pendingRequests())};
+        d.enqueue(arrival, decode.localLine(line_num), type);
+        return t;
+    }
+
+    /** Drain one channel's queue (see Dram::drain). */
+    std::span<const Cycle> drainChannel(unsigned ch)
+    {
+        return chans[ch].drain();
+    }
+
+    Cycle
+    serve(Cycle arrival, Addr line_num, AccessType type)
+    {
+        const unsigned ch = channelOf(line_num);
+        return chans[ch].serve(arrival, decode.localLine(line_num),
+                               type);
+    }
+
+    /** Pending requests summed over channels. */
+    std::size_t
+    pendingRequests() const
+    {
+        std::size_t s = 0;
+        for (const Dram &d : chans)
+            s += d.pendingRequests();
+        return s;
+    }
+
+    double cyclesPerLine() const
+    {
+        return chans.front().cyclesPerLine();
+    }
+
+    /**
+     * Lifetime counters summed over channels (recomputed per call
+     * into a cached aggregate; deterministic channel-order sum).
+     */
+    const DramCounters &lifetime() const;
+
+    void reset();
+
+    const DramParams &params() const
+    {
+        return chans.front().params();
+    }
+
+  private:
+    ShardDecode decode;
+    std::vector<Dram> chans;
+    mutable DramCounters aggregate;
 };
 
 } // namespace athena

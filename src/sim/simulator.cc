@@ -127,6 +127,10 @@ struct Simulator::PrefetchFillBatch
         Target l1; ///< Valid when fillsL1.
         Target l2;
         Target llc;
+        /** Queue slot of the DRAM request (channel + index). */
+        ChanneledDram::Ticket ticket;
+        /** LLC bank the eager fill landed in. */
+        std::uint16_t llcBank;
         bool fillsL1;
     };
 
@@ -215,8 +219,17 @@ Simulator::Simulator(const SystemConfig &config,
             "workload count must equal core count");
     }
 
-    llc = std::make_unique<Cache>(llcParams(cfg.cores));
-    dram = std::make_unique<Dram>(dramParams(cfg));
+    if (cfg.llcBanks < 1 || cfg.dramChannels < 1 ||
+        cfg.llcBanks + cfg.dramChannels > SharedShard::kMaxShards) {
+        throw std::invalid_argument(
+            "llcBanks and dramChannels must each be >= 1 and sum "
+            "to at most " + std::to_string(SharedShard::kMaxShards));
+    }
+
+    llc = std::make_unique<BankedLlc>(llcParams(cfg.cores),
+                                      cfg.llcBanks);
+    dram = std::make_unique<ChanneledDram>(dramParams(cfg),
+                                           cfg.dramChannels);
 
     latL1 = l1dParams().latency;
     latL2 = latL1 + l2cParams().latency;
@@ -379,17 +392,29 @@ Simulator::triggerLevel(unsigned core, CacheLevel level,
 void
 Simulator::drainPrefetchFills(CoreCtx &cc, PrefetchFillBatch &batch)
 {
-    // One batched service for the whole window: bank/row decoded
-    // once per request, row-hit streaks resolved bank-locally,
-    // counters published per batch (see Dram::drain). Completions
-    // come back index-aligned with the enqueue order, which is
-    // exactly the order entries were pushed.
-    std::span<const Cycle> done = dram->drain();
-    assert(done.size() == batch.count);
+    // One batched service per channel for the whole window:
+    // bank/row decoded once per request, row-hit streaks resolved
+    // bank-locally, counters published per batch (see Dram::drain).
+    // Each channel's completions come back index-aligned with that
+    // channel's enqueue order, which is exactly what the entries'
+    // tickets recorded at enqueue time.
+    std::span<const Cycle> spans[ChanneledDram::kMaxChannels];
+    const unsigned channels = dram->channelCount();
+#ifndef NDEBUG
+    std::size_t drained = 0;
+#endif
+    for (unsigned ch = 0; ch < channels; ++ch) {
+        spans[ch] = dram->drainChannel(ch);
+#ifndef NDEBUG
+        drained += spans[ch].size();
+#endif
+    }
+    assert(drained == batch.count);
     for (unsigned i = 0; i < batch.count; ++i) {
         const PrefetchFillBatch::Entry &e = batch.buf[i];
-        const Cycle at = done[i];
-        llc->patchReadyAt(e.llc.base, e.llc.way, e.llc.key, at);
+        const Cycle at = spans[e.ticket.channel][e.ticket.index];
+        llc->patchReadyAt(e.llcBank, e.llc.base, e.llc.way,
+                          e.llc.key, at);
         cc.l2.patchReadyAt(e.l2.base, e.l2.way, e.l2.key, at);
         if (e.fillsL1)
             cc.l1.patchReadyAt(e.l1.base, e.l1.way, e.l1.key, at);
@@ -429,31 +454,35 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
         if (cc.l2.touch(l2ref)) {
             ready = cycle + latL2;
         } else {
-            // First shared-resource touch on this path.
-            sharedTurn(core);
-            if (llc->touch(line)) {
+            // First shared-resource touch on this path: the LLC
+            // bank owning the line.
+            const BankedRef llcref = llc->ref(line);
+            sharedTurn(core, llcref.bank);
+            if (llc->touch(llcref)) {
                 ready = cycle + latLlc;
             } else {
-                // Off-chip: enqueue on the controller queue and
-                // fill every level eagerly with a provisional
-                // readyAt — the real completion cycle is patched in
-                // when the trigger window drains
-                // (drainPrefetchFills). Cache state otherwise
-                // evolves exactly as under scalar service: same
-                // probe order, same fills, same victims, same LRU
-                // stamps.
+                // Off-chip: enqueue on the owning channel's
+                // controller queue and fill every level eagerly
+                // with a provisional readyAt — the real completion
+                // cycle is patched in when the trigger window
+                // drains (drainPrefetchFills), addressed by the
+                // enqueue ticket. Cache state otherwise evolves
+                // exactly as under scalar service: same probe
+                // order, same fills, same victims, same LRU stamps.
                 if (batch.full())
                     drainPrefetchFills(cc, batch);
-                dram->enqueue(cycle + latLlc, line,
-                              AccessType::kPrefetch);
+                patch.ticket = dram->enqueue(
+                    cycle + latLlc, line, AccessType::kPrefetch);
+                sharedTurn(core, dramShard(patch.ticket.channel));
                 ready = kPendingReady;
                 from_dram = true;
-                const CacheRef llcref = llc->ref(line);
                 CacheEviction ev =
                     llc->fill(llcref, cycle, ready, true,
                               kNoFeedbackSlot, 0, true);
-                patch.llc =
-                    PrefetchFillBatch::target(llcref, ev.filledWay);
+                patch.llc = PrefetchFillBatch::target(
+                    llcref.ref, ev.filledWay);
+                patch.llcBank =
+                    static_cast<std::uint16_t>(llcref.bank);
                 handleLlcEviction(core, ev);
                 if (cc.ocp)
                     cc.ocp->onFill(line);
@@ -491,10 +520,11 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
             pf.onPrefetchDropped(cand.meta);
             return;
         }
-        const CacheRef llcref = llc->ref(line);
+        const BankedRef llcref = llc->ref(line);
         PrefetchFillBatch::Entry patch{};
-        // First shared-resource touch on the L2C prefetch path.
-        sharedTurn(core);
+        // First shared-resource touch on the L2C prefetch path:
+        // the LLC bank owning the line.
+        sharedTurn(core, llcref.bank);
         if (llc->touch(llcref)) {
             ready = cycle + latLlc;
         } else {
@@ -502,14 +532,16 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
             // L1 path above, without the L1 fill.
             if (batch.full())
                 drainPrefetchFills(cc, batch);
-            dram->enqueue(cycle + latLlc, line,
-                          AccessType::kPrefetch);
+            patch.ticket = dram->enqueue(cycle + latLlc, line,
+                                         AccessType::kPrefetch);
+            sharedTurn(core, dramShard(patch.ticket.channel));
             ready = kPendingReady;
             from_dram = true;
             CacheEviction ev = llc->fill(llcref, cycle, ready, true,
                                          kNoFeedbackSlot, 0, true);
-            patch.llc =
-                PrefetchFillBatch::target(llcref, ev.filledWay);
+            patch.llc = PrefetchFillBatch::target(llcref.ref,
+                                                  ev.filledWay);
+            patch.llcBank = static_cast<std::uint16_t>(llcref.bank);
             handleLlcEviction(core, ev);
             if (cc.ocp)
                 cc.ocp->onFill(line);
@@ -590,11 +622,11 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
                 completion = std::max(issue + latL2, l2res.readyAt);
                 cc.l1.fill(l1ref, issue, completion, false);
             } else {
-                const CacheRef llcref = llc->ref(line);
+                const BankedRef llcref = llc->ref(line);
                 // Leaving the private L1/L2 hierarchy: the LLC
-                // lookup (and any DRAM service behind it) must
-                // commit in the sequential schedule's order.
-                sharedTurn(core);
+                // bank lookup (and any DRAM service behind it)
+                // must commit in the sequential schedule's order.
+                sharedTurn(core, llcref.bank);
                 CacheLookup llcres = llc->access(llcref, issue);
                 if (llcres.hit) {
                     dispatchPrefetchFeedbackUsed(core, llcres,
@@ -609,6 +641,8 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
                         ++cc.window.pollutionMisses;
 
                     Cycle done;
+                    sharedTurn(core,
+                               dramShard(dram->channelOf(line)));
                     if (ocp_pred) {
                         // Hermes path: the speculative request
                         // reaches the controller after the OCP
@@ -646,7 +680,7 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
     // Reachable without a prior LLC touch (on-chip hit), so it
     // takes the shared-state turn itself.
     if (ocp_pred && !went_offchip) {
-        sharedTurn(core);
+        sharedTurn(core, dramShard(dram->channelOf(line)));
         dram->serve(issue + cfg.ocpIssueLatency, line,
                     AccessType::kOcp);
     }
@@ -698,9 +732,9 @@ Simulator::doStore(unsigned core, std::uint64_t pc, Addr addr,
         cc.l1.fill(l1ref, cycle, cycle + latL2, false);
         return;
     }
-    const CacheRef llcref = llc->ref(line);
+    const BankedRef llcref = llc->ref(line);
     // Leaving the private hierarchy (store walk).
-    sharedTurn(core);
+    sharedTurn(core, llcref.bank);
     CacheLookup llcres = llc->access(llcref, cycle);
     if (llcres.hit) {
         dispatchPrefetchFeedbackUsed(core, llcres, cycle);
@@ -710,6 +744,7 @@ Simulator::doStore(unsigned core, std::uint64_t pc, Addr addr,
     }
     // Write-allocate from DRAM; off the critical path but the
     // traffic is real.
+    sharedTurn(core, dramShard(dram->channelOf(line)));
     Cycle done =
         dram->serve(cycle + latLlc, line, AccessType::kDemandStore);
     CacheEviction ev = llc->fill(llcref, cycle, done, false);
@@ -741,10 +776,10 @@ Simulator::maybeEndEpoch(unsigned core)
     stats.branchMispredicts =
         cs.branchMispredicts - cc.epochStartCounters.branchMispredicts;
 
-    // The epoch summary samples global DRAM counters; that read
-    // must see exactly the traffic the sequential schedule ordered
-    // before this step.
-    sharedTurn(core);
+    // The epoch summary samples the aggregate DRAM counters across
+    // every channel; that read must see exactly the traffic the
+    // sequential schedule ordered before this step, on all of them.
+    sharedTurnAllDram(core);
     const DramCounters &life = dram->lifetime();
     stats.dramDemand = life.demandRequests - cc.lastDram.demandRequests;
     stats.dramPrefetch =
@@ -752,9 +787,14 @@ Simulator::maybeEndEpoch(unsigned core)
     stats.dramOcp = life.ocpRequests - cc.lastDram.ocpRequests;
     double busy = static_cast<double>(life.busBusyCycles -
                                       cc.lastBusBusy);
+    // Busy cycles are summed across channels, and each channel can
+    // be busy for the whole window — normalize by the channel count
+    // so the feature stays a fraction of provisioned bandwidth
+    // (identical to the historical formula at 1 channel).
     stats.bandwidthUsage =
         std::min(1.0, busy / static_cast<double>(stats.cycles) /
-                          static_cast<double>(cfg.cores));
+                          static_cast<double>(cfg.cores) /
+                          static_cast<double>(cfg.dramChannels));
 
     cc.decision = cc.policy->onEpochEnd(stats);
 
@@ -857,6 +897,12 @@ Simulator::run(const RunPlan &plan)
         if (!cc.core->finished() && cc.core->retired() < total)
             cc.core->stepN(total - cc.core->retired());
     } else {
+        // Size the per-shard oracle before either engine appends
+        // (the parallel stepper sizes it too; this covers the
+        // sequential engine and keeps both identically shaped).
+        if (stepLog)
+            stepLog->shards.resize(totalShards());
+
         const bool use_par = useParallelEngine(plan);
 
         // Sequential engine: step the globally least-advanced
@@ -920,9 +966,12 @@ Simulator::run(const RunPlan &plan)
                         // Open the oracle record for this step:
                         // its key is the pre-step frontier, the
                         // same (now, core) pair the picker ordered
-                        // by and the parallel engine's bound.
+                        // by and the parallel engine's bound. The
+                        // step stays open across all its shared
+                        // touches; each shard logs at most once.
                         seqLogKey = cc.core->now();
                         seqLogOpen = true;
+                        seqLoggedMask = 0;
                     }
                     cc.core->step();
                     check_warmup(pick);
@@ -1002,9 +1051,14 @@ Simulator::run(const RunPlan &plan)
     Cycle window = max_now > measure.maxNowAtStart
                        ? max_now - measure.maxNowAtStart
                        : 1;
-    result.busUtilization =
-        std::min(1.0, static_cast<double>(result.dram.busBusyCycles) /
-                          static_cast<double>(window));
+    // Aggregate utilization across channels: busy cycles are summed
+    // over every channel's bus, so the window is scaled by the
+    // channel count (identical to the historical formula at 1
+    // channel).
+    result.busUtilization = std::min(
+        1.0, static_cast<double>(result.dram.busBusyCycles) /
+                 static_cast<double>(window) /
+                 static_cast<double>(cfg.dramChannels));
     return result;
 }
 
@@ -1027,8 +1081,9 @@ Simulator::checkWarmup(unsigned c, std::uint64_t warmup_per_core)
     // frontier) is shared state: sample it in commit order so the
     // first core to cross warmup — first in the *schedule*, not in
     // wall-clock arrival — anchors the window, exactly as under
-    // the sequential engine.
-    sharedTurn(c);
+    // the sequential engine. The sample reads every channel's
+    // counters.
+    sharedTurnAllDram(c);
     if (!measure.anyStarted) {
         measure.anyStarted = true;
         measure.dramAtStart = dram->lifetime();
@@ -1037,10 +1092,13 @@ Simulator::checkWarmup(unsigned c, std::uint64_t warmup_per_core)
 }
 
 void
-Simulator::seqLogCommit(unsigned core)
+Simulator::seqLogCommit(unsigned core, unsigned shard)
 {
-    seqLogOpen = false;
-    stepLog->emplace_back(core, seqLogKey);
+    const std::uint64_t bit = std::uint64_t{1} << shard;
+    if (seqLoggedMask & bit)
+        return;
+    seqLoggedMask |= bit;
+    stepLog->shards[shard].emplace_back(core, seqLogKey);
 }
 
 unsigned
@@ -1082,7 +1140,7 @@ void
 Simulator::runMultiParallel(std::uint64_t total_per_core,
                             std::uint64_t warmup_per_core)
 {
-    ParallelStepper stepper(cfg.cores, stepLog);
+    ParallelStepper stepper(cfg.cores, totalShards(), stepLog);
     par = &stepper;
 
     auto worker = [&](std::size_t idx) {
@@ -1189,9 +1247,10 @@ Simulator::snapshot(const std::string &path) const
  * naming the component, and sections can evolve independently
  * behind the file-level version:
  *
- *   meta       config content hash + core count
+ *   meta       config content hash + core count + shard geometry
  *   resume     plan warmup + measurement-window bookkeeping
- *   llc, dram  shared resources
+ *   llc/b<i>   one section per LLC bank
+ *   dram/ch<j> one section per DRAM channel
  *   c<i>/wl     workload generator cursors
  *   c<i>/core   core pipeline + branch predictor
  *   c<i>/l1, c<i>/l2
@@ -1206,6 +1265,8 @@ Simulator::saveTo(SnapshotWriter &w) const
     w.beginSection("meta");
     w.u64(cfg.configKey());
     w.u32(cfg.cores);
+    w.u32(cfg.llcBanks);
+    w.u32(cfg.dramChannels);
     w.endSection();
 
     w.beginSection("resume");
@@ -1226,13 +1287,17 @@ Simulator::saveTo(SnapshotWriter &w) const
     }
     w.endSection();
 
-    w.beginSection("llc");
-    llc->saveState(w);
-    w.endSection();
+    for (unsigned b = 0; b < llc->bankCount(); ++b) {
+        w.beginSection("llc/b" + std::to_string(b));
+        llc->bank(b).saveState(w);
+        w.endSection();
+    }
 
-    w.beginSection("dram");
-    dram->saveState(w);
-    w.endSection();
+    for (unsigned ch = 0; ch < dram->channelCount(); ++ch) {
+        w.beginSection("dram/ch" + std::to_string(ch));
+        dram->channel(ch).saveState(w);
+        w.endSection();
+    }
 
     for (unsigned c = 0; c < cfg.cores; ++c) {
         const CoreCtx &cc = *coreCtxs[c];
@@ -1298,14 +1363,42 @@ void
 Simulator::restoreFrom(SnapshotReader &r)
 {
     r.openSection("meta");
-    std::uint64_t key = r.u64();
+    const std::uint64_t key = r.u64();
+    const std::uint32_t snap_cores = r.u32();
+    const std::uint32_t snap_banks = r.u32();
+    const std::uint32_t snap_channels = r.u32();
+    // Shard-geometry guards run before the config-key comparison so
+    // a cross-geometry snapshot fails with an error naming the
+    // mismatched dimension (the key differs too — llcBanks and
+    // dramChannels are hashed — but "config key mismatch" would
+    // hide which knob moved).
+    if (snap_banks != cfg.llcBanks) {
+        throw SnapshotError(
+            "meta", "LLC bank count mismatch: snapshot has " +
+                        std::to_string(snap_banks) +
+                        ", configuration wants " +
+                        std::to_string(cfg.llcBanks));
+    }
+    if (snap_channels != cfg.dramChannels) {
+        throw SnapshotError(
+            "meta", "DRAM channel count mismatch: snapshot has " +
+                        std::to_string(snap_channels) +
+                        ", configuration wants " +
+                        std::to_string(cfg.dramChannels));
+    }
+    if (snap_cores != cfg.cores) {
+        throw SnapshotError(
+            "meta", "core count mismatch: snapshot has " +
+                        std::to_string(snap_cores) +
+                        ", configuration wants " +
+                        std::to_string(cfg.cores));
+    }
     if (key != cfg.configKey()) {
         throw SnapshotError(
             "meta",
             "snapshot was taken under a different system "
             "configuration (config key mismatch)");
     }
-    r.expectU32(cfg.cores, "core count");
 
     r.openSection("resume");
     resumeWarmup = r.u64();
@@ -1326,11 +1419,15 @@ Simulator::restoreFrom(SnapshotReader &r)
         ms.llcMissLatency = r.u64();
     }
 
-    r.openSection("llc");
-    llc->restoreState(r);
+    for (unsigned b = 0; b < llc->bankCount(); ++b) {
+        r.openSection("llc/b" + std::to_string(b));
+        llc->bank(b).restoreState(r);
+    }
 
-    r.openSection("dram");
-    dram->restoreState(r);
+    for (unsigned ch = 0; ch < dram->channelCount(); ++ch) {
+        r.openSection("dram/ch" + std::to_string(ch));
+        dram->channel(ch).restoreState(r);
+    }
 
     for (unsigned c = 0; c < cfg.cores; ++c) {
         CoreCtx &cc = *coreCtxs[c];

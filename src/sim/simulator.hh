@@ -225,13 +225,14 @@ class Simulator
     SimResult run(const RunPlan &plan);
 
     /**
-     * Attach a shared-step commit-order log (test oracle). Both
-     * engines append one (core, pre-step frontier) entry per
-     * multi-core step that touches the shared LLC/DRAM, in commit
-     * order; the parallel engine must reproduce the sequential
-     * engine's log verbatim. Must be set before run(); the caller
-     * owns the vector. Single-core runs record nothing (there is
-     * no cross-core schedule to verify).
+     * Attach a per-shard shared-step commit-order log (test
+     * oracle). Both engines append one (core, pre-step frontier)
+     * entry to every shard (LLC bank / DRAM channel) a multi-core
+     * step touches, in that shard's commit order; the parallel
+     * engine must reproduce the sequential engine's per-shard
+     * projections verbatim. Must be set before run(); the caller
+     * owns the log. Single-core runs record nothing (there is no
+     * cross-core schedule to verify).
      */
     void setSharedStepLog(SharedStepLog *log) { stepLog = log; }
 
@@ -293,22 +294,52 @@ class Simulator
     void checkWarmup(unsigned core, std::uint64_t warmup_per_core);
 
     /**
-     * Shared-state gate, called at every LLC/DRAM touch point on
-     * the memory path. Under the parallel engine it parks the core
-     * until its step's turn in the sequential commit order; under
-     * the sequential engine it only feeds the commit-order oracle.
-     * No-op (one predicted branch) when neither is active.
+     * Shared-state gate, called at every shared touch point on the
+     * memory path with the shard (LLC bank / DRAM channel in the
+     * SharedShard id space) being touched. Under the parallel
+     * engine it parks the core until its step's turn in the
+     * sequential commit order (the wait is global — see
+     * parallel_step.hh on why per-shard grants are unsound without
+     * footprint declaration — so only the first shared touch of a
+     * step can block) and records the touch on the shard's commit
+     * log; under the sequential engine it only feeds the per-shard
+     * commit-order oracle. No-op (one predicted branch) when
+     * neither is active.
      */
     void
-    sharedTurn(unsigned core)
+    sharedTurn(unsigned core, unsigned shard)
     {
         if (par)
-            par->ensureTurn(core);
+            par->ensureTurn(core, shard);
         else if (stepLog && seqLogOpen)
-            seqLogCommit(core);
+            seqLogCommit(core, shard);
     }
 
-    void seqLogCommit(unsigned core);
+    /** Shard id of DRAM channel @p ch (LLC banks occupy [0, B)). */
+    unsigned dramShard(unsigned ch) const
+    {
+        return cfg.llcBanks + ch;
+    }
+
+    /** Total shard count: LLC banks + DRAM channels. */
+    unsigned totalShards() const
+    {
+        return cfg.llcBanks + cfg.dramChannels;
+    }
+
+    /**
+     * Order + log a read of every DRAM channel (epoch/warmup
+     * lifetime sampling reads the aggregate counters): one global
+     * wait, one commit-log entry per channel shard.
+     */
+    void
+    sharedTurnAllDram(unsigned core)
+    {
+        for (unsigned ch = 0; ch < cfg.dramChannels; ++ch)
+            sharedTurn(core, dramShard(ch));
+    }
+
+    void seqLogCommit(unsigned core, unsigned shard);
 
     // Snapshot plumbing (section layout in simulator.cc).
     void saveTo(SnapshotWriter &w) const;
@@ -349,9 +380,11 @@ class Simulator
     /** Commit-order oracle sink (tests), or null. */
     SharedStepLog *stepLog = nullptr;
     /** Sequential-engine oracle bookkeeping: the in-flight step's
-     *  key and whether it already logged a shared touch. */
+     *  key, whether a step is open, and which shards the step has
+     *  already logged (bit per shard id). */
     Cycle seqLogKey = 0;
     bool seqLogOpen = false;
+    std::uint64_t seqLoggedMask = 0;
     /** True when this instance was restored from a snapshot. */
     bool resumed = false;
     /** Warmup length the snapshot (or current run) was taken at. */
@@ -363,9 +396,11 @@ class Simulator
     Cycle latL2 = 0;  ///< L1 + L2.
     Cycle latLlc = 0; ///< L1 + L2 + LLC.
 
-    // Shared resources.
-    std::unique_ptr<Cache> llc;
-    std::unique_ptr<Dram> dram;
+    // Shared resources: the sharded shared-memory plane. With the
+    // default 1-bank/1-channel geometry both behave bit-identically
+    // to the former monolithic Cache/Dram singletons.
+    std::unique_ptr<BankedLlc> llc;
+    std::unique_ptr<ChanneledDram> dram;
 };
 
 } // namespace athena

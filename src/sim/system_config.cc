@@ -76,6 +76,8 @@ SystemConfig::configKey() const
     h.f64(bandwidthGBps);
     h.u64(dramBanks);
     h.u64(dramRowBytes);
+    h.u64(llcBanks);
+    h.u64(dramChannels);
     h.u64(ocpIssueLatency);
     h.u64(cores);
     h.u64(epochInstructions);
@@ -160,6 +162,23 @@ makeDesignConfig(CacheDesign design, PolicyKind policy)
         cfg.l2cPf = PrefetcherKind::kPythia;
         break;
     }
+    return cfg;
+}
+
+SystemConfig
+makeManyCoreConfig(unsigned cores, CacheDesign design,
+                   PolicyKind policy)
+{
+    SystemConfig cfg = makeDesignConfig(design, policy);
+    cfg.cores = cores;
+    if (cores >= 32) {
+        cfg.llcBanks = 8;
+        cfg.dramChannels = 4;
+    } else if (cores >= 16) {
+        cfg.llcBanks = 4;
+        cfg.dramChannels = 2;
+    }
+    cfg.label += "x" + std::to_string(cores);
     return cfg;
 }
 

@@ -62,6 +62,23 @@ struct SystemConfig
      */
     unsigned dramBanks = 8;
     std::uint64_t dramRowBytes = 2048;
+    /**
+     * Shared-memory-plane shard geometry. The LLC splits into
+     * `llcBanks` line-interleaved banks (`bank = line mod llcBanks`,
+     * the bank sees `line / llcBanks`) and DRAM into `dramChannels`
+     * independent channels (same interleave), each channel owning
+     * its own request queue, bank state, and counters at the full
+     * per-channel `bandwidthGBps` — so aggregate bandwidth scales
+     * with the channel count. Defaults of 1/1 are bit-identical to
+     * the pre-sharding monolithic plane; power-of-two LLC bank
+     * counts up to the set count are bit-invariant among themselves
+     * (the interleave is a pure re-labeling of the set index).
+     * Non-power-of-two counts are supported via the division decode.
+     * llcBanks + dramChannels must not exceed 64 (the per-step
+     * shard-touch bitmask width).
+     */
+    unsigned llcBanks = 1;
+    unsigned dramChannels = 1;
     Cycle ocpIssueLatency = 6;
     unsigned cores = 1;
     std::uint64_t epochInstructions = 8000;
@@ -86,6 +103,17 @@ struct SystemConfig
 /** Build the config for a given cache design with defaults. */
 SystemConfig makeDesignConfig(CacheDesign design,
                               PolicyKind policy = PolicyKind::kNaive);
+
+/**
+ * Build a many-core Fig-16-style preset: a design config scaled to
+ * `cores` with a sharded shared-memory plane sized for it (16 cores:
+ * 4 LLC banks / 2 DRAM channels; 32 cores: 8 banks / 4 channels;
+ * below 16: the legacy 1/1 monolithic plane). `cores` must be
+ * 2..64.
+ */
+SystemConfig makeManyCoreConfig(unsigned cores,
+                                CacheDesign design = CacheDesign::kCd1,
+                                PolicyKind policy = PolicyKind::kNaive);
 
 /** Cache parameters of Table 5 (LLC size scales with cores). */
 CacheParams l1dParams();

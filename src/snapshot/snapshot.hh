@@ -46,8 +46,10 @@
 namespace athena
 {
 
-/** Format version: bump on any incompatible layout change. */
-constexpr std::uint16_t kSnapshotVersion = 1;
+/** Format version: bump on any incompatible layout change.
+ *  v2: sharded shared-memory plane — per-shard `llc/b<i>` /
+ *  `dram/ch<j>` sections and shard geometry in `meta`. */
+constexpr std::uint16_t kSnapshotVersion = 2;
 /** Width of the section tag field (NUL-padded). */
 constexpr std::size_t kSnapshotTagBytes = 24;
 /** Snapshot file magic. */

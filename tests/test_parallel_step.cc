@@ -134,30 +134,40 @@ expectResultsIdentical(const SimResult &a, const SimResult &b,
 }
 
 /**
- * Commit-schedule equality with a useful failure message: on
- * divergence, report the first differing index and a small window
- * around it rather than dumping two hundred-thousand-entry vectors.
+ * Per-shard commit-schedule equality with a useful failure message:
+ * on divergence, report the shard and first differing index rather
+ * than dumping two hundred-thousand-entry vectors.
  */
 void
 expectLogsIdentical(const SharedStepLog &want,
                     const SharedStepLog &got, const char *ctx)
 {
-    EXPECT_FALSE(want.empty()) << ctx << ": oracle log is empty — "
-                               << "the run never touched shared state";
-    const std::size_t n = std::min(want.size(), got.size());
-    for (std::size_t i = 0; i < n; ++i) {
-        if (want[i] == got[i])
-            continue;
-        ADD_FAILURE() << ctx << ": commit schedules diverge at entry "
-                      << i << ": sequential committed core "
-                      << want[i].first << " @ cycle " << want[i].second
-                      << ", parallel committed core " << got[i].first
-                      << " @ cycle " << got[i].second;
-        return;
+    ASSERT_EQ(want.shards.size(), got.shards.size())
+        << ctx << ": shard counts differ";
+    bool touched = false;
+    for (std::size_t sh = 0; sh < want.shards.size(); ++sh) {
+        const auto &w = want.shards[sh];
+        const auto &g = got.shards[sh];
+        touched = touched || !w.empty();
+        const std::size_t n = std::min(w.size(), g.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (w[i] == g[i])
+                continue;
+            ADD_FAILURE()
+                << ctx << ": shard " << sh
+                << " commit schedules diverge at entry " << i
+                << ": sequential committed core " << w[i].first
+                << " @ cycle " << w[i].second
+                << ", parallel committed core " << g[i].first
+                << " @ cycle " << g[i].second;
+            return;
+        }
+        EXPECT_EQ(w.size(), g.size())
+            << ctx << ": shard " << sh << " schedules agree on the "
+            << "common prefix but have different lengths";
     }
-    EXPECT_EQ(want.size(), got.size())
-        << ctx << ": schedules agree on the common prefix but have "
-        << "different lengths";
+    EXPECT_TRUE(touched) << ctx << ": oracle log is empty — the run "
+                         << "never touched shared state";
 }
 
 struct EngineRun

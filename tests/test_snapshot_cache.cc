@@ -131,6 +131,44 @@ TEST_F(SnapshotCacheTest, CachedResultsMatchUncached)
               smallBudget().warmupInstructions);
 }
 
+TEST_F(SnapshotCacheTest, ShardGeometryChangesCacheKey)
+{
+    // llcBanks/dramChannels are hashed into configKey, so a sweep
+    // at a different shard geometry must NOT alias the cached
+    // warmup snapshots of another geometry — it simulates its own
+    // warmup instead of restoring a wrong-shaped snapshot.
+    auto workloads = evalWorkloads();
+    const WorkloadSpec &spec = workloads.front();
+    SystemConfig mono =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+    SystemConfig sharded = mono;
+    sharded.llcBanks = 2;
+    sharded.dramChannels = 2;
+
+    ExperimentRunner first(smallBudget());
+    SimResult mono_res = first.runOne(mono, spec);
+    EXPECT_EQ(first.warmupInstructionsSimulated(),
+              smallBudget().warmupInstructions);
+
+    // Same design/policy, different geometry: cache miss, fresh
+    // warmup.
+    ExperimentRunner second(smallBudget());
+    SimResult shard_res = second.runOne(sharded, spec);
+    EXPECT_EQ(second.warmupInstructionsSimulated(),
+              smallBudget().warmupInstructions);
+
+    // Each geometry now resumes only from its own snapshot.
+    ExperimentRunner third(smallBudget());
+    SimResult shard_hot = third.runOne(sharded, spec);
+    EXPECT_EQ(third.warmupInstructionsSimulated(), 0u);
+    EXPECT_EQ(shard_res.ipc(), shard_hot.ipc());
+    EXPECT_EQ(shard_res.cores[0].cycles, shard_hot.cores[0].cycles);
+    // Sanity: single-channel and dual-channel runs really are
+    // different experiments (per-channel bandwidth adds up).
+    EXPECT_EQ(mono_res.cores[0].instructions,
+              shard_res.cores[0].instructions);
+}
+
 TEST_F(SnapshotCacheTest, CorruptCacheEntryFallsBackToFreshRun)
 {
     auto workloads = evalWorkloads();
