@@ -25,6 +25,7 @@
 #include "common/rng.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "ocp/popet.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/parallel_step.hh"
 #include "sim/simulator.hh"
@@ -72,6 +73,164 @@ BM_QVStoreSarsaUpdate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_QVStoreSarsaUpdate);
+
+void
+BM_QVLookupBatch(benchmark::State &state)
+{
+    // The SoA batch kernel of the inference plane: all-action Q
+    // columns for 64 states in one lookupBatch pass (compare
+    // against BM_QVLookupScalarLoop, the same work as 64 x actions
+    // scalar q() calls).
+    athena::QVStore qv;
+    athena::Rng rng(31);
+    constexpr unsigned kBatch = 64;
+    std::array<std::uint32_t, kBatch> states;
+    std::vector<double> out(kBatch * qv.params().actions);
+    for (auto _ : state) {
+        for (std::uint32_t &s : states)
+            s = static_cast<std::uint32_t>(rng.next());
+        qv.lookupBatch(states.data(), kBatch, out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_QVLookupBatch);
+
+void
+BM_QVLookupScalarLoop(benchmark::State &state)
+{
+    // Scalar baseline for BM_QVLookupBatch: the same 64 states
+    // resolved one (state, action) q() call at a time.
+    athena::QVStore qv;
+    athena::Rng rng(31);
+    constexpr unsigned kBatch = 64;
+    std::array<std::uint32_t, kBatch> states;
+    const unsigned actions = qv.params().actions;
+    std::vector<double> out(kBatch * actions);
+    for (auto _ : state) {
+        for (std::uint32_t &s : states)
+            s = static_cast<std::uint32_t>(rng.next());
+        for (unsigned i = 0; i < kBatch; ++i) {
+            for (unsigned a = 0; a < actions; ++a)
+                out[i * actions + a] = qv.q(states[i], a);
+        }
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_QVLookupScalarLoop);
+
+void
+BM_PopetFeatureHashBatch(benchmark::State &state)
+{
+    // The window collector's kernel: five feature indices for 256
+    // accesses, history threaded through the batch (compare against
+    // BM_PopetFeatureHashScalar, the batch-of-1 loop).
+    athena::PopetPredictor popet;
+    athena::Rng rng(32);
+    constexpr unsigned kBatch = 256;
+    std::array<std::uint64_t, kBatch> pcs;
+    std::array<athena::Addr, kBatch> addrs;
+    std::vector<std::uint16_t> idx(kBatch * 5);
+    for (auto _ : state) {
+        for (unsigned i = 0; i < kBatch; ++i) {
+            pcs[i] = 0x400000 + (rng.next() & 0xff) * 4;
+            addrs[i] = rng.next() & ((1ull << 30) - 1);
+        }
+        popet.featureIndicesBatch(pcs.data(), addrs.data(), kBatch,
+                                  idx.data());
+        benchmark::DoNotOptimize(idx.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_PopetFeatureHashBatch);
+
+void
+BM_PopetFeatureHashScalar(benchmark::State &state)
+{
+    // Scalar baseline for BM_PopetFeatureHashBatch: the same 256
+    // accesses through 256 batch-of-1 calls (per-call loop setup,
+    // no cross-access vectorization).
+    athena::PopetPredictor popet;
+    athena::Rng rng(32);
+    constexpr unsigned kBatch = 256;
+    std::array<std::uint64_t, kBatch> pcs;
+    std::array<athena::Addr, kBatch> addrs;
+    std::vector<std::uint16_t> idx(kBatch * 5);
+    for (auto _ : state) {
+        for (unsigned i = 0; i < kBatch; ++i) {
+            pcs[i] = 0x400000 + (rng.next() & 0xff) * 4;
+            addrs[i] = rng.next() & ((1ull << 30) - 1);
+        }
+        for (unsigned i = 0; i < kBatch; ++i) {
+            popet.featureIndicesBatch(&pcs[i], &addrs[i], 1,
+                                      &idx[i * 5]);
+        }
+        benchmark::DoNotOptimize(idx.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_PopetFeatureHashScalar);
+
+void
+BM_QVTrainEpochBatch(benchmark::State &state)
+{
+    // The per-epoch batch trainer: 32 buffered SARSA triples
+    // applied in one updateBatch pass (compare against
+    // BM_QVTrainEpochScalar).
+    athena::QVStore qv;
+    athena::Rng rng(33);
+    constexpr unsigned kBatch = 32;
+    std::array<athena::QVStore::TrainTriple, kBatch> triples;
+    for (auto _ : state) {
+        for (athena::QVStore::TrainTriple &t : triples) {
+            t.s = static_cast<std::uint32_t>(rng.next());
+            t.a = static_cast<unsigned>(rng.next() & 3);
+            t.reward = 0.5;
+            t.sNext = static_cast<std::uint32_t>(rng.next());
+            t.aNext = static_cast<unsigned>(rng.next() & 3);
+        }
+        qv.updateBatch(triples.data(), kBatch);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_QVTrainEpochBatch);
+
+void
+BM_QVTrainEpochScalar(benchmark::State &state)
+{
+    // Scalar baseline for BM_QVTrainEpochBatch: the same 32
+    // triples through one update() call each.
+    athena::QVStore qv;
+    athena::Rng rng(33);
+    constexpr unsigned kBatch = 32;
+    std::array<athena::QVStore::TrainTriple, kBatch> triples;
+    for (auto _ : state) {
+        for (athena::QVStore::TrainTriple &t : triples) {
+            t.s = static_cast<std::uint32_t>(rng.next());
+            t.a = static_cast<unsigned>(rng.next() & 3);
+            t.reward = 0.5;
+            t.sNext = static_cast<std::uint32_t>(rng.next());
+            t.aNext = static_cast<unsigned>(rng.next() & 3);
+        }
+        for (const athena::QVStore::TrainTriple &t : triples)
+            qv.update(t.s, t.a, t.reward, t.sNext, t.aNext);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_QVTrainEpochScalar);
 
 void
 BM_BloomInsert(benchmark::State &state)

@@ -34,6 +34,13 @@
  *    multi-core hosts; a 1-CPU box reports <= 1x by construction
  *    (results are bit-identical either way — see
  *    tests/test_parallel_step.cc).
+ *  - Inference-batch A/B: the policy-heavy epoch500 cases (where
+ *    the Athena/POPET decision loop dominates) additionally run
+ *    batched-vs-scalar inference (SystemConfig::batchedInference
+ *    on vs off, interleaved best-of) and the JSON gains an
+ *    "inference_batch" block with per-case wall times and the
+ *    speedup. Results are bit-identical either way — see
+ *    tests/test_inference_batch.cc.
  *
  * Knobs:
  *  - ATHENA_SIM_INSTR      measured instructions per run (default 2M)
@@ -41,8 +48,9 @@
  *  - ATHENA_BENCH_REPEATS  repeats per case (default 3; 1 in CI)
  *  - ATHENA_AB_BASELINE    path to a pinned baseline bench binary
  *  - ATHENA_BENCH_JSON     output path (default BENCH_throughput.json)
- *  - ATHENA_BENCH_FILTER   substring filter: run only cases whose
- *                          name contains it (CI smoke runs)
+ *  - ATHENA_BENCH_FILTER   comma-separated list of substrings: run
+ *                          only cases whose name contains at least
+ *                          one of them (CI smoke runs)
  */
 
 #include <algorithm>
@@ -297,6 +305,13 @@ main(int argc, char **argv)
             makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
         acfg.cores = 4;
         cases.push_back({"mc4_cd1_athena_mix", acfg, mix4, 4});
+        // Policy-heavy multi-core: 500-instruction epochs on every
+        // core — the agent + predictor inference load the batched
+        // SoA plane targets, under multi-core stepping.
+        SystemConfig ecfg = acfg;
+        ecfg.epochInstructions = 500;
+        cases.push_back(
+            {"mc4_cd1_athena_epoch500_mix", ecfg, mix4, 4});
     }
     // DRAM-pressure case: two L2C prefetchers (CD3) x 4 cores at a
     // bandwidth-starved 1.6 GB/s/core — prefetch bursts pile onto
@@ -396,15 +411,30 @@ main(int argc, char **argv)
         }
     }
 
-    // Case filter (CI smoke): keep only names containing the
-    // substring. An empty match is a hard error — a typo'd filter
-    // silently benchmarking nothing would look like a perf miracle.
+    // Case filter (CI smoke): a comma-separated list of substrings;
+    // keep cases whose name contains at least one of them. An empty
+    // match is a hard error — a typo'd filter silently benchmarking
+    // nothing would look like a perf miracle.
     const char *filter_env = std::getenv("ATHENA_BENCH_FILTER");
     if (filter_env && *filter_env) {
+        std::vector<std::string> tokens;
+        std::string filter = filter_env;
+        for (std::size_t pos = 0; pos <= filter.size();) {
+            std::size_t comma = filter.find(',', pos);
+            if (comma == std::string::npos)
+                comma = filter.size();
+            if (comma > pos)
+                tokens.push_back(filter.substr(pos, comma - pos));
+            pos = comma + 1;
+        }
         std::vector<Case> kept;
         for (Case &c : cases) {
-            if (c.name.find(filter_env) != std::string::npos)
-                kept.push_back(std::move(c));
+            for (const std::string &t : tokens) {
+                if (c.name.find(t) != std::string::npos) {
+                    kept.push_back(std::move(c));
+                    break;
+                }
+            }
         }
         if (kept.empty()) {
             std::cerr << "ATHENA_BENCH_FILTER='" << filter_env
@@ -470,6 +500,60 @@ main(int argc, char **argv)
                                         : 0.0)
                   << "x\n";
         par_ab.push_back(row);
+    }
+
+    // Batched-vs-scalar inference A/B over the policy-heavy
+    // epoch500 cases: the config knob is flipped directly
+    // (batchedInference on vs off) and the two sides interleave —
+    // batched, scalar, batched, scalar — with best-of-repeats per
+    // side, so host drift cancels out. Both sides produce
+    // bit-identical simulation results (the equivalence suite
+    // enforces it); only wall clock differs.
+    struct InfAb
+    {
+        std::string name;
+        unsigned cores = 1;
+        double batchedWall = 0.0;
+        double scalarWall = 0.0;
+    };
+    std::vector<InfAb> inf_ab;
+    for (const Case &c : cases) {
+        if (c.name.find("epoch500") == std::string::npos)
+            continue;
+        Case batched = c;
+        batched.cfg.batchedInference = true;
+        Case scalar = c;
+        scalar.cfg.batchedInference = false;
+        InfAb row;
+        row.name = c.name;
+        row.cores = c.cfg.cores;
+        // Alternate which side runs first in each interleaved pair:
+        // the first run after a Simulator teardown sees colder
+        // allocator/page state, and pinning one side to that slot
+        // reads as a systematic (phantom) regression on hosts with
+        // slow page reclaim.
+        for (unsigned r = 0; r < repeats; ++r) {
+            double b, s;
+            if (r & 1) {
+                s = runCase(scalar, instr, warmup).wallSeconds;
+                b = runCase(batched, instr, warmup).wallSeconds;
+            } else {
+                b = runCase(batched, instr, warmup).wallSeconds;
+                s = runCase(scalar, instr, warmup).wallSeconds;
+            }
+            if (r == 0 || b < row.batchedWall)
+                row.batchedWall = b;
+            if (r == 0 || s < row.scalarWall)
+                row.scalarWall = s;
+        }
+        std::cout << "inference A/B " << row.name << ": batched "
+                  << row.batchedWall << " s, scalar "
+                  << row.scalarWall << " s -> "
+                  << (row.batchedWall > 0.0
+                          ? row.scalarWall / row.batchedWall
+                          : 0.0)
+                  << "x\n";
+        inf_ab.push_back(row);
     }
     // A-side aggregates from per-case bests, mirroring what the
     // baseline side gets below. Like-for-like means intersecting
@@ -597,6 +681,21 @@ main(int argc, char **argv)
              << "\"speedup\": "
              << (p.parWall > 0.0 ? p.seqWall / p.parWall : 0.0)
              << "}" << (i + 1 < par_ab.size() ? "," : "") << "\n";
+    }
+    json << "  ]},\n";
+    // Same naming discipline as parallel_stepping: no "accesses" /
+    // "wall_seconds" keys, so the baseline parser ignores the rows.
+    json << "  \"inference_batch\": {\"cases\": [\n";
+    for (std::size_t i = 0; i < inf_ab.size(); ++i) {
+        const InfAb &p = inf_ab[i];
+        json << "    {\"name\": \"" << p.name << "\", "
+             << "\"cores\": " << p.cores << ", "
+             << "\"batched_wall_s\": " << p.batchedWall << ", "
+             << "\"scalar_wall_s\": " << p.scalarWall << ", "
+             << "\"speedup\": "
+             << (p.batchedWall > 0.0 ? p.scalarWall / p.batchedWall
+                                     : 0.0)
+             << "}" << (i + 1 < inf_ab.size() ? "," : "") << "\n";
     }
     json << "  ]},\n";
     json << "  \"cases\": [\n";

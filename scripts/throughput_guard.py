@@ -7,11 +7,22 @@ regressed by more than the allowed percentage.
 
 Usage:
     throughput_guard.py BASELINE.json NEW.json [--max-regression-pct N]
+                        [--filter substr,substr,...]
+
+When a filter is given (or the NEW json was produced by a filtered
+bench run and only carries a case subset), the aggregate is
+recomputed from the per-case sums restricted to cases present in
+BOTH documents, so a filtered smoke run compares apples to apples
+against the full committed baseline.
 
 Environment:
     ATHENA_REGRESSION_PCT   overrides the threshold (useful on noisy
                             shared CI runners; the committed baseline
                             is measured on a quiet box)
+    ATHENA_BENCH_FILTER     same comma-separated substring list the
+                            bench accepts; applied as --filter when
+                            the flag is absent, so the guard and the
+                            bench run it checks share one knob
     ATHENA_SKIP_THROUGHPUT_GUARD=1   skips the check entirely
 
 The committed baseline and the CI runner are different machines, so
@@ -31,12 +42,33 @@ def rate(doc: dict) -> float:
     return float(doc.get("accesses_per_sec", 0.0))
 
 
+def case_matches(name: str, tokens: list) -> bool:
+    return not tokens or any(t and t in name for t in tokens)
+
+
+def subset_rate(doc: dict, names: set) -> float:
+    """Aggregate accesses/sec over the named case subset."""
+    acc = 0.0
+    wall = 0.0
+    for c in doc.get("cases", []):
+        if c["name"] in names and c.get("wall_seconds"):
+            acc += float(c["accesses"])
+            wall += float(c["wall_seconds"])
+    return acc / wall if wall > 0.0 else 0.0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("new")
     parser.add_argument("--max-regression-pct", type=float,
                         default=10.0)
+    parser.add_argument(
+        "--filter", default=os.environ.get("ATHENA_BENCH_FILTER", ""),
+        help="comma-separated case-name substrings (the bench's "
+             "ATHENA_BENCH_FILTER syntax); restricts the comparison "
+             "to matching cases and recomputes the aggregate over "
+             "the intersection")
     parser.add_argument(
         "--advisory", action="store_true",
         help="report the comparison but always exit 0 — for "
@@ -62,7 +94,26 @@ def main() -> int:
     with open(args.new) as f:
         new = json.load(f)
 
-    base_rate, new_rate = rate(base), rate(new)
+    tokens = [t.strip() for t in args.filter.split(",") if t.strip()]
+    base_cases = {c["name"]: c for c in base.get("cases", [])}
+    new_names = {c["name"] for c in new.get("cases", [])}
+    common = {n for n in new_names
+              if n in base_cases and case_matches(n, tokens)}
+
+    if tokens or new_names != set(base_cases):
+        # Filtered (or subset) run: compare only the intersection so
+        # a smoke job measuring two cases is not judged against the
+        # full 15-case baseline aggregate.
+        if not common:
+            print("throughput_guard: no common cases after filter "
+                  f"{tokens}; nothing to compare")
+            return 0
+        base_rate = subset_rate(base, common)
+        new_rate = subset_rate(new, common)
+        print(f"throughput_guard: comparing case subset "
+              f"{sorted(common)}")
+    else:
+        base_rate, new_rate = rate(base), rate(new)
     if base_rate <= 0.0:
         print("throughput_guard: baseline has no accesses_per_sec; "
               "nothing to compare")
@@ -76,10 +127,11 @@ def main() -> int:
 
     # Per-case detail for the log (cases are matched by name; new
     # cases are informational only).
-    base_cases = {c["name"]: c for c in base.get("cases", [])}
     for c in new.get("cases", []):
         b = base_cases.get(c["name"])
         if not b or not b.get("wall_seconds"):
+            continue
+        if not case_matches(c["name"], tokens):
             continue
         br = b["accesses"] / b["wall_seconds"]
         nr = c["accesses"] / c["wall_seconds"]

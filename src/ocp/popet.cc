@@ -30,7 +30,7 @@ PopetPredictor::featureIndices(std::uint64_t pc, Addr addr) const
         pm.pc = pc;
         pm.valid = true;
         pm.pcIdx = static_cast<std::uint16_t>(mix64(pc) % kTableSize);
-        pm.pcTerm = 0x9e3779b97f4a7c15ull + (pc << 6) + (pc >> 2);
+        pm.pcTerm = pcHashTerm(pc);
     }
     if (page != memoPage) {
         memoPage = page;
@@ -47,6 +47,85 @@ PopetPredictor::featureIndices(std::uint64_t pc, Addr addr) const
         memoPageIdx,
         static_cast<std::uint16_t>(mix64(lastPcsHash) % kTableSize),
     };
+}
+
+void
+PopetPredictor::pureIndicesInto(std::uint64_t pc, Addr addr,
+                                std::uint16_t *out)
+{
+    unsigned line_off = pageLineOffset(addr);
+    unsigned byte_off =
+        static_cast<unsigned>(addr & (kLineBytes - 1));
+    Addr page = pageNumber(addr);
+    std::uint64_t pc_term = pcHashTerm(pc);
+    out[0] = static_cast<std::uint16_t>(mix64(pc) % kTableSize);
+    out[1] = static_cast<std::uint16_t>(
+        mix64(pc ^ (line_off + pc_term)) % kTableSize);
+    out[2] = static_cast<std::uint16_t>(
+        mix64(pc ^ (byte_off + pc_term)) % kTableSize);
+    out[3] = static_cast<std::uint16_t>(mix64(page) % kTableSize);
+}
+
+void
+PopetPredictor::pureFeatureIndicesBatch(const std::uint64_t *pcs,
+                                        const Addr *addrs,
+                                        unsigned n,
+                                        std::uint16_t *idx)
+{
+    for (unsigned i = 0; i < n; ++i)
+        pureIndicesInto(pcs[i], addrs[i], idx + i * kPureFeatures);
+}
+
+void
+PopetPredictor::pureFeatureIndicesBatch(const std::uint64_t *pcs,
+                                        const Addr *addrs,
+                                        unsigned n,
+                                        std::uint16_t *idx,
+                                        PureBatchMemo &memo)
+{
+    for (unsigned i = 0; i < n; ++i)
+        pureIndicesMemoInto(pcs[i], addrs[i], memo,
+                            idx + i * kPureFeatures);
+}
+
+void
+PopetPredictor::featureIndicesBatch(const std::uint64_t *pcs,
+                                    const Addr *addrs, unsigned n,
+                                    std::uint16_t *idx) const
+{
+    std::uint64_t hist = lastPcsHash;
+    for (unsigned i = 0; i < n; ++i) {
+        std::uint16_t *out = idx + i * kFeatures;
+        pureIndicesInto(pcs[i], addrs[i], out);
+        out[kFeatures - 1] =
+            static_cast<std::uint16_t>(mix64(hist) % kTableSize);
+        // Advance the rolling hash past this access, exactly as
+        // predict() folds it after each prediction.
+        hist = hashCombine(hist, pcs[i]);
+    }
+}
+
+bool
+PopetPredictor::predictPrepared(std::uint64_t pc, Addr addr,
+                                const std::uint16_t *pure_idx)
+{
+    int partial = 0;
+    for (unsigned f = 0; f < kPureFeatures; ++f)
+        partial += weights[f][pure_idx[f]].raw();
+    std::uint16_t hist_idx = static_cast<std::uint16_t>(
+        mix64(lastPcsHash) % kTableSize);
+    int s = partial + weights[kFeatures - 1][hist_idx].raw();
+    bool off_chip = s >= kActivationThreshold;
+    lastPcsHash = hashCombine(lastPcsHash, pc);
+    for (unsigned f = 0; f < kPureFeatures; ++f)
+        memoIdx[f] = pure_idx[f];
+    memoIdx[kFeatures - 1] = static_cast<std::uint16_t>(
+        mix64(lastPcsHash) % kTableSize);
+    memoPartialSum = partial;
+    memoPc = pc;
+    memoAddr = addr;
+    memoValid = true;
+    return off_chip;
 }
 
 int

@@ -93,6 +93,44 @@ PythiaPrefetcher::drainOldest()
     }
 }
 
+std::uint64_t
+PythiaPrefetcher::deltaSeqHash(std::uint32_t hist_key)
+{
+    // Bytes unpack oldest-first (high to low), matching the fold
+    // order over the oldest-first deltaHistory array; the int8
+    // cast recovers each clamped delta exactly (|delta| <= 64).
+    std::uint64_t seq = 0;
+    for (int shift = 24; shift >= 0; shift -= 8) {
+        auto d = static_cast<std::int8_t>((hist_key >> shift) &
+                                          0xffu);
+        seq = hashCombine(seq,
+                          static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(d)));
+    }
+    return seq;
+}
+
+std::uint64_t
+PythiaPrefetcher::seqHashLookup(std::uint32_t key)
+{
+    if (!batchedHashing)
+        return deltaSeqHash(key);
+    SeqMemoEntry &memo = seqMemo[key & (kSeqMemoSize - 1)];
+    if (memo.valid && memo.key == key)
+        return memo.seq;
+    std::uint64_t seq = deltaSeqHash(key);
+    memo = {key, true, seq};
+    return seq;
+}
+
+void
+PythiaPrefetcher::deltaSeqHashBatch(const std::uint32_t *keys,
+                                    unsigned n, std::uint64_t *out)
+{
+    for (unsigned i = 0; i < n; ++i)
+        out[i] = seqHashLookup(keys[i]);
+}
+
 void
 PythiaPrefetcher::observeImpl(const PrefetchTrigger &trigger,
                           CandidateVec &out)
@@ -105,23 +143,13 @@ PythiaPrefetcher::observeImpl(const PrefetchTrigger &trigger,
     lastLine = line;
 
     // Feature 1: PC xor last delta. Feature 2: delta sequence —
-    // a pure fold over the history, served from the packed-key memo
-    // when this delta pattern has been seen before.
+    // a pure fold over the packed history key, served through the
+    // shared memo + fold kernel (deltaSeqHashBatch's per-key step;
+    // the key's bytes mirror the oldest-first deltaHistory array).
     std::uint64_t f1 =
         hashCombine(trigger.pc, static_cast<std::uint64_t>(
                                     static_cast<std::int64_t>(delta)));
-    std::uint64_t f2;
-    SeqMemoEntry &memo = seqMemo[histKey & (kSeqMemoSize - 1)];
-    if (memo.valid && memo.key == histKey) {
-        f2 = memo.seq;
-    } else {
-        std::uint64_t seq = 0;
-        for (int d : deltaHistory)
-            seq = hashCombine(seq, static_cast<std::uint64_t>(
-                                       static_cast<std::int64_t>(d)));
-        f2 = seq;
-        memo = {histKey, true, seq};
-    }
+    std::uint64_t f2 = seqHashLookup(histKey);
     std::rotate(deltaHistory.begin(), deltaHistory.begin() + 1,
                 deltaHistory.end());
     deltaHistory.back() = delta;

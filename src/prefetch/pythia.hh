@@ -64,6 +64,37 @@ class PythiaPrefetcher final : public Prefetcher
         return 2 * kRows * kActions * 8 + kEqCapacity * 40 + 128;
     }
 
+    /**
+     * Unpack a packed 4-delta history key (deltas clamped to
+     * [-64, 64], one signed byte each, newest in the low byte) and
+     * fold it into the delta-sequence feature hash (f2) —
+     * bit-identical to the scalar fold over the oldest-first
+     * deltaHistory array, whose order the key's byte order mirrors.
+     */
+    static std::uint64_t deltaSeqHash(std::uint32_t hist_key);
+
+    /**
+     * Batched delta-sequence probe: resolve @p n packed history
+     * keys to their feature hashes through the direct-mapped memo
+     * (hits) and the fold kernel (misses), filling memo entries
+     * exactly as n sequential probes would. The live observe path
+     * is the batch-of-1 shim over the same kernel (like
+     * Dram::serve over the queue drain).
+     */
+    void deltaSeqHashBatch(const std::uint32_t *keys, unsigned n,
+                           std::uint64_t *out);
+
+    /**
+     * Route the observe path's delta-sequence hashing through the
+     * direct-mapped memo (on, the PR 9 inference-plane default) or
+     * recompute the fold per trigger (off — the pre-batching
+     * scalar behavior). Bit-identical either way (the memo is a
+     * key-validated pure cache); the simulator slaves this to the
+     * batched-inference knob so the bench A/B compares the whole
+     * plane against the faithful scalar engine.
+     */
+    void setBatchedHashing(bool on) { batchedHashing = on; }
+
     // --- introspection for tests -----------------------------
     double qValue(std::uint64_t f1, std::uint64_t f2,
                   unsigned action) const;
@@ -120,6 +151,10 @@ class PythiaPrefetcher final : public Prefetcher
      *  reward. */
     void drainOldest();
 
+    /** One key through the memo + fold kernel (the observe path's
+     *  shim over deltaSeqHashBatch's per-key step). */
+    std::uint64_t seqHashLookup(std::uint32_t key);
+
     std::array<std::array<double, kActions>, kRows> plane1;
     std::array<std::array<double, kActions>, kRows> plane2;
 
@@ -170,6 +205,8 @@ class PythiaPrefetcher final : public Prefetcher
     };
     static constexpr unsigned kSeqMemoSize = 256; // power of two
     std::array<SeqMemoEntry, kSeqMemoSize> seqMemo{};
+    /** See setBatchedHashing(). */
+    bool batchedHashing = true;
     std::uint32_t histKey = 0; ///< Packed deltaHistory (newest low).
 };
 

@@ -21,6 +21,8 @@
 #include "athena/agent.hh"
 #include "coord/simple.hh"
 #include "coord/tlp.hh"
+#include "ocp/popet.hh"
+#include "prefetch/pythia.hh"
 #include "sim/step_picker.hh"
 #include "sim/thread_pool.hh"
 #include "snapshot/snapshot.hh"
@@ -33,6 +35,23 @@ namespace
 
 /** Slot marker for fills that must not generate feedback. */
 constexpr std::uint8_t kNoFeedbackSlot = 0xff;
+
+/**
+ * Process-wide batched-inference override: ATHENA_INFERENCE_BATCH=0
+ * forces the scalar path regardless of
+ * SystemConfig::batchedInference (the bench A/B driver flips the
+ * config knob directly; the env knob is the operator's escape
+ * hatch). Results are bit-identical either way.
+ */
+bool
+inferenceBatchEnvEnabled()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("ATHENA_INFERENCE_BATCH");
+        return !(v && *v == '0');
+    }();
+    return enabled;
+}
 
 /**
  * Provisional readyAt for lines filled while their DRAM request is
@@ -63,8 +82,15 @@ makePolicy(const SystemConfig &cfg, unsigned num_prefetchers)
         return std::make_unique<HpacPolicy>(cfg.hpac);
       case PolicyKind::kMab:
         return std::make_unique<MabPolicy>(num_prefetchers, cfg.mab);
-      case PolicyKind::kAthena:
-        return std::make_unique<AthenaAgent>(cfg.athena);
+      case PolicyKind::kAthena: {
+        // The plane knob governs the whole learning stack: with
+        // batching off the agent applies SARSA triples one at a
+        // time, the faithful pre-batching scalar engine.
+        AthenaConfig ac = cfg.athena;
+        ac.batchedTraining =
+            cfg.batchedInference && inferenceBatchEnvEnabled();
+        return std::make_unique<AthenaAgent>(ac);
+      }
     }
     throw std::logic_error("unknown policy kind");
 }
@@ -156,6 +182,53 @@ struct Simulator::PrefetchFillBatch
     void push(const Entry &e) { buf[count++] = e; }
 };
 
+/**
+ * Window-collected POPET feature columns — the batched SoA
+ * inference plane of one core. The plane tracks the core's current
+ * record batch (refillSequence()); demand-load positions are
+ * discovered by a lazy forward scan fused into serving, and the
+ * four (pc, addr)-pure feature-table indices are computed in SoA
+ * chunks (PopetPredictor::pureFeatureIndicesBatch with the
+ * persistent memo) as the serve cursor advances. Plane work is
+ * therefore proportional to the records actually traversed: a
+ * window whose loads are mostly skipped (OCP gating off — Athena
+ * epochs are shorter than the record window) pays neither a
+ * full-window scan nor more than a chunk of speculative hashing.
+ * doLoad serves each load's prepared row by cursor + (pc, addr)
+ * match against the record buffer and hashes only the history
+ * feature at access time.
+ *
+ * The plane is a pure cache: a cursor mismatch (e.g. the first
+ * window after a mid-buffer snapshot restore, or loads skipped
+ * while OCP gating was off) scans forward for the next matching
+ * row and falls back to the scalar predictDemand path when the
+ * window runs dry — and because the indices are pure functions of
+ * (pc, addr), even a coincidental match yields exact indices, so
+ * every path is bit-identical to the scalar plane. Core-private
+ * state: touched only from the owning core's stepping thread.
+ */
+struct OcpBatchPlane
+{
+    static constexpr unsigned kCapacity = CoreModel::kBatchCapacity;
+    /** Lazy feature-compute granularity (SoA kernel batch size). */
+    static constexpr unsigned kChunk = 32;
+    std::uint64_t seq = ~0ull; ///< refillSequence() last seen.
+    unsigned scanPos = 0;      ///< Next record index to examine.
+    unsigned count = 0;        ///< Load rows discovered so far.
+    unsigned cursor = 0;       ///< Next row to serve.
+    unsigned computed = 0;     ///< Rows with feature indices ready.
+    /** Record-buffer position of each discovered load (the rows'
+     *  (pc, addr) live in the core's record window; no copies). */
+    std::array<std::uint16_t, kCapacity> loadPos;
+    std::array<std::uint16_t,
+               kCapacity * PopetPredictor::kPureFeatures>
+        idx;
+    /** Persistent pure cache for the chunk kernel's hash work
+     *  (pc/page terms repeat across windows); never affects
+     *  results. */
+    PopetPredictor::PureBatchMemo memo;
+};
+
 /** All per-core state. */
 struct Simulator::CoreCtx
 {
@@ -192,6 +265,16 @@ struct Simulator::CoreCtx
     CoreCounters epochStartCounters;
     std::uint64_t lastBusBusy = 0; ///< Global bus-busy snapshot.
     DramCounters lastDram;         ///< Global DRAM count snapshot.
+
+    /**
+     * Non-null iff the batched inference plane drives this core's
+     * OCP: the concrete POPET behind `ocp`, resolved once at
+     * construction (kind() tag check) when
+     * SystemConfig::batchedInference and the env override allow it.
+     * Null means doLoad takes the scalar predictDemand path.
+     */
+    PopetPredictor *popet = nullptr;
+    OcpBatchPlane ocpPlane;
 
     /** Prefetch-induced LLC pollution tracker (section 5.2.3). */
     BloomFilter pollutionBloom{4096, 2};
@@ -257,6 +340,13 @@ Simulator::Simulator(const SystemConfig &config,
         }
         if (ctx->prefetchers.size() > kMaxPrefetchers)
             throw std::invalid_argument("too many prefetchers");
+        const bool plane_on =
+            cfg.batchedInference && inferenceBatchEnvEnabled();
+        for (auto &pf : ctx->prefetchers) {
+            if (auto *py =
+                    dynamic_cast<PythiaPrefetcher *>(pf.get()))
+                py->setBatchedHashing(plane_on);
+        }
         for (unsigned s = 0; s < ctx->prefetchers.size(); ++s) {
             unsigned lvl = ctx->prefetchers[s]->level() ==
                                    CacheLevel::kL1D
@@ -267,6 +357,11 @@ Simulator::Simulator(const SystemConfig &config,
         }
 
         ctx->ocp = makeOcp(cfg.ocp);
+        if (plane_on && ctx->ocp &&
+            ctx->ocp->kind() == OcpKind::kPopet) {
+            ctx->popet =
+                static_cast<PopetPredictor *>(ctx->ocp.get());
+        }
         ctx->policy = makePolicy(
             cfg, static_cast<unsigned>(ctx->prefetchers.size()));
         ctx->policyObservesDemands =
@@ -572,6 +667,72 @@ Simulator::issuePrefetch(unsigned core, unsigned slot,
     ++cc.window.pfIssued[slot];
 }
 
+const std::uint16_t *
+Simulator::popetPreparedRow(CoreCtx &cc, std::uint64_t pc, Addr addr)
+{
+    OcpBatchPlane &pl = cc.ocpPlane;
+    if (pl.seq != cc.core->refillSequence()) {
+        // Fresh record batch: reset the plane's view. Load rows are
+        // discovered by the lazy scan below, so an untouched tail
+        // of the window costs nothing.
+        pl.seq = cc.core->refillSequence();
+        pl.scanPos = cc.core->windowBase();
+        pl.count = 0;
+        pl.cursor = 0;
+        pl.computed = 0;
+    }
+    const TraceRecord *rec = cc.core->windowRecords();
+    const unsigned len = cc.core->windowLen();
+    // The demand stream visits the window's loads in order, so the
+    // cursor row matches on the first probe in the steady state.
+    // On mismatch (post-restore window, or loads skipped while OCP
+    // gating was off) scan forward: skipped rows were either
+    // already served or never will be, and any (pc, addr) match is
+    // exact because the indices are pure.
+    for (;;) {
+        if (pl.cursor == pl.count) {
+            // Discover the next load row.
+            while (pl.scanPos < len &&
+                   rec[pl.scanPos].kind != InstrKind::kLoad)
+                ++pl.scanPos;
+            if (pl.scanPos == len)
+                return nullptr;
+            pl.loadPos[pl.count++] =
+                static_cast<std::uint16_t>(pl.scanPos++);
+        }
+        const unsigned i = pl.cursor++;
+        const TraceRecord &r = rec[pl.loadPos[i]];
+        if (r.pc != pc || r.addr != addr)
+            continue;
+        if (i >= pl.computed) {
+            // Materialize the next chunk of pure feature rows in
+            // one SoA pass: extend discovery to fill the chunk,
+            // then run the kernel row fused with the record gather
+            // (pureIndicesMemoInto is header-inline; no (pc, addr)
+            // copy arrays). Rows the cursor already skipped
+            // ([computed, i)) can never be served — the cursor
+            // only advances — so the chunk starts at i.
+            while (pl.count < i + OcpBatchPlane::kChunk &&
+                   pl.scanPos < len) {
+                if (rec[pl.scanPos].kind == InstrKind::kLoad)
+                    pl.loadPos[pl.count++] =
+                        static_cast<std::uint16_t>(pl.scanPos);
+                ++pl.scanPos;
+            }
+            const unsigned end =
+                std::min(pl.count, i + OcpBatchPlane::kChunk);
+            for (unsigned j = i; j < end; ++j) {
+                const TraceRecord &c = rec[pl.loadPos[j]];
+                PopetPredictor::pureIndicesMemoInto(
+                    c.pc, c.addr, pl.memo,
+                    &pl.idx[j * PopetPredictor::kPureFeatures]);
+            }
+            pl.computed = end;
+        }
+        return &pl.idx[i * PopetPredictor::kPureFeatures];
+    }
+}
+
 Cycle
 Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
                   Cycle issue, bool &l1_miss)
@@ -580,9 +741,38 @@ Simulator::doLoad(unsigned core, std::uint64_t pc, Addr addr,
     Addr line = lineNumber(addr);
 
     // Off-chip prediction happens as soon as the address is known.
+    // With the batched inference plane active (cc.popet non-null),
+    // the four (pc, addr)-pure feature indices come precomputed
+    // from the window-collected SoA columns; only the PC-history
+    // feature is hashed here. Bit-identical to the scalar path.
     bool ocp_pred = false;
-    if (cc.ocp && cc.decision.ocpEnable)
-        ocp_pred = cc.ocp->predictDemand(pc, addr);
+    if (cc.ocp && cc.decision.ocpEnable) {
+        const std::uint16_t *prep = nullptr;
+        if (cc.popet) {
+            // Steady-state fast path, inline: the plane tracks the
+            // current window, the cursor row is already
+            // materialized, and it matches this access. Everything
+            // else (stale window, chunk boundary, skipped rows)
+            // takes the out-of-line scan in popetPreparedRow.
+            OcpBatchPlane &pl = cc.ocpPlane;
+            if (pl.seq == cc.core->refillSequence() &&
+                pl.cursor < pl.computed) {
+                const TraceRecord &r =
+                    cc.core->windowRecords()[pl.loadPos[pl.cursor]];
+                if (r.pc == pc && r.addr == addr) {
+                    prep = &pl.idx[pl.cursor *
+                                   PopetPredictor::kPureFeatures];
+                    ++pl.cursor;
+                } else {
+                    prep = popetPreparedRow(cc, pc, addr);
+                }
+            } else {
+                prep = popetPreparedRow(cc, pc, addr);
+            }
+        }
+        ocp_pred = prep ? cc.popet->predictPrepared(pc, addr, prep)
+                        : cc.ocp->predictDemand(pc, addr);
+    }
 
     bool went_offchip = false;
     Cycle completion;
@@ -1478,6 +1668,11 @@ Simulator::restoreFrom(SnapshotReader &r)
         cc.ocpCorrect = r.u64();
         cc.llcMissesTotal = r.u64();
         cc.llcMissLatencyTotal = r.u64();
+        // The OCP batch plane is a pure cache keyed by the core's
+        // refill sequence (which restarts at 0 on restore); drop it
+        // so the first post-resume load re-collects from the
+        // restored record window.
+        cc.ocpPlane = OcpBatchPlane{};
     }
 
     resumed = true;

@@ -85,6 +85,19 @@ struct SystemConfig
     CoreParams core;
     std::uint64_t seed = 7;
 
+    /**
+     * Batched SoA inference plane: collect each pulled record
+     * batch's demand-load rows into SoA columns and precompute the
+     * (pc, addr)-pure POPET feature indices in one vectorizable
+     * kernel, serving per-load predictions from the prepared
+     * columns. Results are bit-identical to the scalar path by
+     * construction (the knob exists for A/B perf comparison and as
+     * a belt-and-braces escape hatch), so like `label` it is
+     * excluded from configKey(). Env override:
+     * ATHENA_INFERENCE_BATCH=0 forces it off process-wide.
+     */
+    bool batchedInference = true;
+
     /** Number of prefetcher slots in use. */
     unsigned numPrefetchers() const;
 

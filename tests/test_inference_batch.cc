@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Batched SoA inference plane oracle: every batch kernel must be
+ * bit-identical to the scalar path it accelerates.
+ *
+ * Three layers of evidence:
+ *  - Component kernels: QVStore lookupBatch/updateBatch vs scalar
+ *    q()/update() over ragged randomized batches (float and
+ *    quantized storage, row memo on and off), POPET
+ *    featureIndicesBatch history-carry across ragged batch edges vs
+ *    the batch-of-1 sequencing, predictPrepared vs predict over
+ *    randomized interleaved predict/train streams, and Pythia's
+ *    deltaSeqHash vs a manual fold with memo hit/miss mixes.
+ *    Twin-component state equality is asserted on the serialized
+ *    snapshot bytes, so hidden state (weights, RNG, history) cannot
+ *    silently diverge.
+ *  - Whole-simulation: SystemConfig::batchedInference on vs off
+ *    must produce byte-equal SimResults across pinned configs,
+ *    including the policy-heavy epoch500 shapes whose epochs close
+ *    mid record-window, and a 4-core mix.
+ *  - Snapshot interaction: a batched run snapshotted mid-window
+ *    (warmup not a multiple of the record-batch size) must resume
+ *    bit-identically — the collected plane is a pure cache, so the
+ *    restored run re-collects and replays the same results.
+ */
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+#include "athena/qvstore.hh"
+#include "common/hashing.hh"
+#include "common/rng.hh"
+#include "ocp/popet.hh"
+#include "prefetch/pythia.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "snapshot/snapshot.hh"
+#include "trace/zoo.hh"
+
+namespace athena
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "infbatch_" + name + ".asnp";
+}
+
+WorkloadSpec
+pickWorkload(const char *substr)
+{
+    auto workloads = evalWorkloads();
+    for (const WorkloadSpec &w : workloads) {
+        if (w.name.find(substr) != std::string::npos)
+            return w;
+    }
+    return workloads.front();
+}
+
+/** Serialized component state (exact twin-equality witness). */
+template <typename Component>
+std::vector<std::uint8_t>
+stateBytes(const Component &c)
+{
+    SnapshotWriter w;
+    w.beginSection("s");
+    c.saveState(w);
+    w.endSection();
+    return w.serialize();
+}
+
+/** Full-SimResult equality: every counter, every core, exact. */
+void
+expectResultsIdentical(const SimResult &a, const SimResult &b,
+                       const char *ctx)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size()) << ctx;
+    for (unsigned c = 0; c < a.cores.size(); ++c) {
+        const SimResult::PerCore &x = a.cores[c];
+        const SimResult::PerCore &y = b.cores[c];
+        EXPECT_EQ(x.instructions, y.instructions) << ctx << " c" << c;
+        EXPECT_EQ(x.cycles, y.cycles) << ctx << " c" << c;
+        EXPECT_EQ(x.ipc, y.ipc) << ctx << " c" << c;
+        EXPECT_EQ(x.loads, y.loads) << ctx << " c" << c;
+        EXPECT_EQ(x.stores, y.stores) << ctx << " c" << c;
+        EXPECT_EQ(x.branchMispredicts, y.branchMispredicts)
+            << ctx << " c" << c;
+        EXPECT_EQ(x.llcMisses, y.llcMisses) << ctx << " c" << c;
+        EXPECT_EQ(x.llcMissLatency, y.llcMissLatency)
+            << ctx << " c" << c;
+        EXPECT_EQ(x.ocpPredictions, y.ocpPredictions)
+            << ctx << " c" << c;
+        EXPECT_EQ(x.ocpCorrect, y.ocpCorrect) << ctx << " c" << c;
+        EXPECT_EQ(x.actionHistogram, y.actionHistogram)
+            << ctx << " c" << c;
+        for (unsigned s = 0; s < x.pf.size(); ++s) {
+            EXPECT_EQ(x.pf[s].issued, y.pf[s].issued)
+                << ctx << " c" << c << " pf" << s;
+            EXPECT_EQ(x.pf[s].used, y.pf[s].used)
+                << ctx << " c" << c << " pf" << s;
+        }
+    }
+    EXPECT_EQ(a.dram.demandRequests, b.dram.demandRequests) << ctx;
+    EXPECT_EQ(a.dram.prefetchRequests, b.dram.prefetchRequests)
+        << ctx;
+    EXPECT_EQ(a.dram.rowHits, b.dram.rowHits) << ctx;
+    EXPECT_EQ(a.dram.busBusyCycles, b.dram.busBusyCycles) << ctx;
+    EXPECT_EQ(a.busUtilization, b.busUtilization) << ctx;
+}
+
+// ------------------------------------------------- QVStore kernels
+
+/** Ragged sizes covering empty, singleton, odd, and full batches. */
+constexpr std::array<unsigned, 6> kRaggedSizes = {0, 1, 3, 17, 64,
+                                                  129};
+
+void
+qvLookupBatchMatchesScalar(QVStoreParams params)
+{
+    QVStore qv(params);
+    // Teach it something first so the entries are not uniform.
+    Rng rng(0xabcdef);
+    for (int i = 0; i < 500; ++i) {
+        auto s = static_cast<std::uint32_t>(rng.next());
+        auto s2 = static_cast<std::uint32_t>(rng.next());
+        qv.update(s, s & 3, (rng.next() % 7) - 3.0, s2, s2 & 3);
+    }
+    const unsigned actions = qv.params().actions;
+    for (unsigned n : kRaggedSizes) {
+        std::vector<std::uint32_t> states(n);
+        for (std::uint32_t &s : states) {
+            // Mix in-memo (packed-space) and out-of-memo states.
+            s = static_cast<std::uint32_t>(rng.next());
+            if (rng.next() & 1)
+                s &= 0xfff;
+        }
+        std::vector<double> got(n * actions, -1.0);
+        qv.lookupBatch(states.data(), n, got.data());
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned a = 0; a < actions; ++a) {
+                EXPECT_EQ(got[i * actions + a], qv.q(states[i], a))
+                    << "n=" << n << " i=" << i << " a=" << a;
+            }
+        }
+        // qRowsBatch is pure in (state, geometry): equal rows for
+        // equal states regardless of memoization.
+        QVStoreParams nomemo = params;
+        nomemo.memoizeRows = false;
+        QVStore plain(nomemo);
+        std::vector<std::uint32_t> r1(n * params.planes);
+        std::vector<std::uint32_t> r2(n * params.planes);
+        qv.qRowsBatch(states.data(), n, r1.data());
+        plain.qRowsBatch(states.data(), n, r2.data());
+        EXPECT_EQ(r1, r2) << "n=" << n;
+    }
+}
+
+TEST(QVStoreBatch, LookupBatchMatchesScalarFloat)
+{
+    qvLookupBatchMatchesScalar(QVStoreParams{});
+}
+
+TEST(QVStoreBatch, LookupBatchMatchesScalarQuantized)
+{
+    QVStoreParams p;
+    p.quantized = true;
+    qvLookupBatchMatchesScalar(p);
+}
+
+TEST(QVStoreBatch, LookupBatchMatchesScalarNoMemo)
+{
+    QVStoreParams p;
+    p.memoizeRows = false;
+    qvLookupBatchMatchesScalar(p);
+}
+
+void
+qvUpdateBatchMatchesScalar(QVStoreParams params)
+{
+    QVStore scalar(params);
+    QVStore batched(params);
+    Rng rng(0x5eed);
+    for (unsigned n : kRaggedSizes) {
+        std::vector<QVStore::TrainTriple> triples(n);
+        for (QVStore::TrainTriple &t : triples) {
+            t.s = static_cast<std::uint32_t>(rng.next());
+            t.a = static_cast<unsigned>(rng.next() %
+                                        params.actions);
+            t.reward = static_cast<double>(
+                           static_cast<std::int64_t>(rng.next() %
+                                                     17) -
+                           8) /
+                       2.0;
+            t.sNext = static_cast<std::uint32_t>(rng.next());
+            t.aNext = static_cast<unsigned>(rng.next() %
+                                            params.actions);
+        }
+        for (const QVStore::TrainTriple &t : triples)
+            scalar.update(t.s, t.a, t.reward, t.sNext, t.aNext);
+        batched.updateBatch(triples.data(), n);
+        // Serialized-state equality: every entry byte and (in
+        // quantized mode) the stochastic-rounding RNG state match.
+        EXPECT_EQ(stateBytes(scalar), stateBytes(batched))
+            << "after batch of " << n;
+        // Interleave a read between batches — the batch boundary
+        // must not be observable.
+        auto probe = static_cast<std::uint32_t>(rng.next());
+        EXPECT_EQ(scalar.argmax(probe), batched.argmax(probe));
+    }
+}
+
+TEST(QVStoreBatch, UpdateBatchMatchesScalarFloat)
+{
+    qvUpdateBatchMatchesScalar(QVStoreParams{});
+}
+
+TEST(QVStoreBatch, UpdateBatchMatchesScalarQuantized)
+{
+    QVStoreParams p;
+    p.quantized = true;
+    qvUpdateBatchMatchesScalar(p);
+}
+
+TEST(QVStoreBatch, UpdateBatchMatchesScalarNoMemo)
+{
+    QVStoreParams p;
+    p.memoizeRows = false;
+    qvUpdateBatchMatchesScalar(p);
+}
+
+// --------------------------------------------------- POPET kernels
+
+/** A randomized (pc, addr) demand stream with PC/page reuse (the
+ *  regime the scalar path's memos were built for). */
+void
+fillAccessStream(Rng &rng, std::vector<std::uint64_t> &pcs,
+                 std::vector<Addr> &addrs, unsigned n)
+{
+    pcs.resize(n);
+    addrs.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        pcs[i] = 0x400000 + (rng.next() % 24) * 4;
+        addrs[i] = (rng.next() % 64) * 4096 + (rng.next() & 0xfff);
+    }
+}
+
+TEST(PopetBatch, FeatureIndicesBatchCarriesHistoryAcrossEdges)
+{
+    // Chunked featureIndicesBatch over ragged windows must equal
+    // the batch-of-1 sequencing, with the rolling PC-history hash
+    // carried across every batch edge by the real predict() calls
+    // in between.
+    PopetPredictor chunked;
+    PopetPredictor oracle;
+    Rng rng(0x90be7);
+    std::vector<std::uint64_t> pcs;
+    std::vector<Addr> addrs;
+    for (unsigned n : kRaggedSizes) {
+        fillAccessStream(rng, pcs, addrs, n);
+        std::vector<std::uint16_t> got(n * 5, 0xffff);
+        std::vector<std::uint16_t> want(n * 5, 0xeeee);
+        chunked.featureIndicesBatch(pcs.data(), addrs.data(), n,
+                                    got.data());
+        for (unsigned i = 0; i < n; ++i) {
+            oracle.featureIndicesBatch(&pcs[i], &addrs[i], 1,
+                                       &want[i * 5]);
+            // Advance both twins' live history identically.
+            chunked.predict(pcs[i], addrs[i]);
+            oracle.predict(pcs[i], addrs[i]);
+        }
+        EXPECT_EQ(got, want) << "window of " << n;
+        EXPECT_EQ(stateBytes(chunked), stateBytes(oracle));
+    }
+}
+
+TEST(PopetBatch, MemoizedPureBatchMatchesMemoFree)
+{
+    // The persistent collect memo is a pure cache: outputs must be
+    // bit-identical to the memo-free kernel with ANY memo contents.
+    // Streams are crafted to alias in the direct-mapped tables
+    // (same low bits, different pc/arg) so the key-validation path
+    // is exercised, and one memo instance persists across batches
+    // so stale entries from earlier batches are probed.
+    PopetPredictor::PureBatchMemo memo;
+    Rng rng(0xcafe);
+    std::vector<std::uint64_t> pcs;
+    std::vector<Addr> addrs;
+    for (unsigned round = 0; round < 6; ++round) {
+        const unsigned n = 1 + static_cast<unsigned>(rng.next() % 200);
+        pcs.resize(n);
+        addrs.resize(n);
+        for (unsigned i = 0; i < n; ++i) {
+            // PCs collide in the 16-entry pc memo ((pc>>4)&15):
+            // vary only bits above bit 8.
+            pcs[i] = 0x400000 + ((rng.next() % 7) << 8);
+            // Mix streaming pages (arg reuse across pages) with
+            // random addresses (forced evictions).
+            addrs[i] = (rng.next() & 1)
+                           ? (round * 4096 + i * 64)
+                           : static_cast<Addr>(rng.next());
+        }
+        std::vector<std::uint16_t> with_memo(
+            n * PopetPredictor::kPureFeatures, 0xaaaa);
+        std::vector<std::uint16_t> memo_free(
+            n * PopetPredictor::kPureFeatures, 0xbbbb);
+        PopetPredictor::pureFeatureIndicesBatch(
+            pcs.data(), addrs.data(), n, with_memo.data(), memo);
+        PopetPredictor::pureFeatureIndicesBatch(
+            pcs.data(), addrs.data(), n, memo_free.data());
+        EXPECT_EQ(with_memo, memo_free) << "round " << round;
+    }
+}
+
+TEST(PopetBatch, PredictPreparedMatchesPredict)
+{
+    // Randomized interleaved predict/train streams: twin A serves
+    // predictions from window-collected pure rows, twin B runs the
+    // scalar path; predictions, training effects, and final
+    // serialized state must be identical.
+    PopetPredictor prepared;
+    PopetPredictor scalar;
+    Rng rng(0x9a9a);
+    std::vector<std::uint64_t> pcs;
+    std::vector<Addr> addrs;
+    for (unsigned round = 0; round < 8; ++round) {
+        const unsigned n = 1 + static_cast<unsigned>(rng.next() % 96);
+        fillAccessStream(rng, pcs, addrs, n);
+        std::vector<std::uint16_t> pure(
+            n * PopetPredictor::kPureFeatures);
+        PopetPredictor::pureFeatureIndicesBatch(
+            pcs.data(), addrs.data(), n, pure.data());
+        for (unsigned i = 0; i < n; ++i) {
+            bool a = prepared.predictPrepared(
+                pcs[i], addrs[i],
+                &pure[i * PopetPredictor::kPureFeatures]);
+            bool b = scalar.predict(pcs[i], addrs[i]);
+            ASSERT_EQ(a, b) << "round " << round << " i " << i;
+            // Mostly paired trains (the demand path's shape), with
+            // occasional skips and unpaired re-trains mixed in.
+            std::uint64_t roll = rng.next() % 8;
+            if (roll == 0)
+                continue; // no train for this access
+            bool went = (rng.next() & 1) != 0;
+            prepared.train(pcs[i], addrs[i], went);
+            scalar.train(pcs[i], addrs[i], went);
+            if (roll == 1) {
+                // Unpaired second train (memo already consumed).
+                prepared.train(pcs[i], addrs[i], went);
+                scalar.train(pcs[i], addrs[i], went);
+            }
+        }
+        EXPECT_EQ(stateBytes(prepared), stateBytes(scalar))
+            << "round " << round;
+    }
+}
+
+// -------------------------------------------------- Pythia kernels
+
+TEST(PythiaBatch, DeltaSeqHashMatchesManualFold)
+{
+    Rng rng(0x77);
+    for (int trial = 0; trial < 200; ++trial) {
+        // Oldest-first history of four clamped deltas.
+        std::array<int, 4> hist;
+        std::uint32_t key = 0;
+        for (int &d : hist) {
+            d = static_cast<int>(rng.next() % 129) - 64;
+            key = (key << 8) |
+                  (static_cast<std::uint32_t>(d) & 0xffu);
+        }
+        std::uint64_t want = 0;
+        for (int d : hist) {
+            want = hashCombine(want,
+                               static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(d)));
+        }
+        EXPECT_EQ(PythiaPrefetcher::deltaSeqHash(key), want)
+            << "trial " << trial;
+    }
+}
+
+TEST(PythiaBatch, DeltaSeqHashBatchMemoHitMissMix)
+{
+    PythiaPrefetcher pythia(7);
+    Rng rng(0x1234);
+    // A key stream with heavy repeats (memo hits), fresh keys
+    // (misses), and aliasing keys (same memo slot, different key —
+    // forced evictions).
+    std::vector<std::uint32_t> keys;
+    for (int i = 0; i < 400; ++i) {
+        switch (rng.next() % 3) {
+          case 0:
+            keys.push_back(0x01020304); // repeat: memo hit
+            break;
+          case 1:
+            keys.push_back(
+                static_cast<std::uint32_t>(rng.next()));
+            break;
+          default:
+            // Same low byte as the repeat key: direct-mapped alias.
+            keys.push_back((static_cast<std::uint32_t>(rng.next())
+                            << 8) |
+                           0x04);
+            break;
+        }
+    }
+    std::vector<std::uint64_t> got(keys.size());
+    pythia.deltaSeqHashBatch(keys.data(),
+                             static_cast<unsigned>(keys.size()),
+                             got.data());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        EXPECT_EQ(got[i], PythiaPrefetcher::deltaSeqHash(keys[i]))
+            << "i=" << i;
+    }
+}
+
+// --------------------------------------------- whole-sim A/B oracle
+
+SimResult
+runSim(SystemConfig cfg, const std::vector<WorkloadSpec> &specs,
+       bool batched, const RunPlan &plan)
+{
+    cfg.batchedInference = batched;
+    Simulator sim(cfg, specs);
+    return sim.run(plan);
+}
+
+void
+expectBatchedScalarIdentical(SystemConfig cfg,
+                             const std::vector<WorkloadSpec> &specs,
+                             const RunPlan &plan, const char *ctx)
+{
+    SimResult batched = runSim(cfg, specs, true, plan);
+    SimResult scalar = runSim(cfg, specs, false, plan);
+    expectResultsIdentical(batched, scalar, ctx);
+}
+
+TEST(InferenceBatchSim, Cd1NaiveIdentical)
+{
+    expectBatchedScalarIdentical(
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kNaive),
+        {pickWorkload("bwaves")}, {60000, 5000}, "cd1_naive");
+}
+
+TEST(InferenceBatchSim, Cd1AthenaEpoch500Identical)
+{
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+    cfg.epochInstructions = 500; // epochs close mid record-window
+    expectBatchedScalarIdentical(cfg, {pickWorkload("bwaves")},
+                                 {60000, 5000},
+                                 "cd1_athena_epoch500");
+}
+
+TEST(InferenceBatchSim, Cd4AthenaChaseIdentical)
+{
+    expectBatchedScalarIdentical(
+        makeDesignConfig(CacheDesign::kCd4, PolicyKind::kAthena),
+        {pickWorkload("mcf")}, {60000, 5000}, "cd4_athena_chase");
+}
+
+TEST(InferenceBatchSim, Mc4AthenaEpoch500Identical)
+{
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+    cfg.cores = 4;
+    cfg.epochInstructions = 500;
+    auto workloads = evalWorkloads();
+    std::vector<WorkloadSpec> mix;
+    for (unsigned i = 0; i < 4; ++i)
+        mix.push_back(workloads[(i * workloads.size()) / 4]);
+    expectBatchedScalarIdentical(cfg, mix, {20000, 2000},
+                                 "mc4_athena_epoch500");
+}
+
+TEST(InferenceBatchSim, EnvKillSwitchIsObservationallyInert)
+{
+    // The ATHENA_INFERENCE_BATCH latch is read once per process, so
+    // whichever value it latched at the first simulator
+    // construction in this binary, a run with the knob on and a run
+    // with it off must agree — the kill switch can only ever select
+    // between two bit-identical engines. (Scalar-path forcing
+    // itself is covered by every knob-off oracle run above; the CI
+    // smoke exercises the env var from a fresh process.)
+    ::setenv("ATHENA_INFERENCE_BATCH", "0", 1);
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+    SimResult env_set = runSim(cfg, {pickWorkload("bwaves")}, true,
+                               {30000, 2000});
+    ::unsetenv("ATHENA_INFERENCE_BATCH");
+    SimResult knob_off = runSim(cfg, {pickWorkload("bwaves")},
+                                false, {30000, 2000});
+    expectResultsIdentical(env_set, knob_off, "env_kill_switch");
+}
+
+// ------------------------------------------- snapshot mid-window
+
+TEST(InferenceBatchSnapshot, MidWindowResumeIsBitIdentical)
+{
+    // Warmup 1300 is not a multiple of the 256-record batch, so the
+    // snapshot lands mid record-window: the restored core holds a
+    // partial buffer and the batch plane must re-collect from it
+    // (scalar-fallback-free only after the next refill; either way
+    // bit-identical). The straight-through batched run is the
+    // oracle; the scalar straight-through run cross-checks both.
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+    cfg.epochInstructions = 500;
+    const WorkloadSpec wl = pickWorkload("bwaves");
+    RunPlan plan(40000, 1300);
+
+    SimResult straight = runSim(cfg, {wl}, true, plan);
+    SimResult scalar = runSim(cfg, {wl}, false, plan);
+    expectResultsIdentical(straight, scalar, "straight_vs_scalar");
+
+    const std::string path = tmpPath("mid_window");
+    RunPlan snap_plan = plan;
+    snap_plan.snapshotAfterWarmup = path;
+    runSim(cfg, {wl}, true, snap_plan);
+
+    SystemConfig bcfg = cfg;
+    bcfg.batchedInference = true;
+    Simulator resumed(bcfg, {wl}, path);
+    SimResult from_snap = resumed.run(plan);
+    expectResultsIdentical(straight, from_snap,
+                           "straight_vs_resumed");
+
+    // Cross-engine: a scalar simulator must also resume the batched
+    // run's snapshot bit-identically (the snapshot format carries
+    // no batching state — the plane is a pure cache).
+    SystemConfig scfg = cfg;
+    scfg.batchedInference = false;
+    Simulator resumed_scalar(scfg, {wl}, path);
+    SimResult from_snap_scalar = resumed_scalar.run(plan);
+    expectResultsIdentical(straight, from_snap_scalar,
+                           "straight_vs_scalar_resumed");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace athena
