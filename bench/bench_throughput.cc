@@ -41,6 +41,11 @@
  *    "inference_batch" block with per-case wall times and the
  *    speedup. Results are bit-identical either way — see
  *    tests/test_inference_batch.cc.
+ *  - SIMD backend A/B: the same epoch500 cases run the batched
+ *    plane with the auto-dispatched backend (AVX2 where available)
+ *    vs the forced portable-scalar backend, and the JSON gains a
+ *    "simd" block with per-case wall times and the speedup.
+ *    Backends are bit-identical — see tests/test_simd_kernels.cc.
  *
  * Knobs:
  *  - ATHENA_SIM_INSTR      measured instructions per run (default 2M)
@@ -68,6 +73,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/simd.hh"
 #include "sim/simulator.hh"
 #include "sim/system_config.hh"
 #include "trace/trace_file.hh"
@@ -555,6 +561,65 @@ main(int argc, char **argv)
                   << "x\n";
         inf_ab.push_back(row);
     }
+
+    // SIMD backend A/B over the same epoch500 cases: both sides run
+    // the batched plane; side A dispatches kernels through the
+    // auto-resolved backend (AVX2 where the CPU has it), side B
+    // forces the portable scalar backend via forceBackend() between
+    // Simulator constructions. Same interleave/first-slot-alternation
+    // discipline as the inference A/B; results are bit-identical
+    // across backends (tests/test_simd_kernels.cc), only wall clock
+    // differs. On pre-AVX2 hosts both sides resolve to scalar and
+    // the block honestly reports ~1x.
+    struct SimdAb
+    {
+        std::string name;
+        unsigned cores = 1;
+        double wideWall = 0.0;
+        double scalarWall = 0.0;
+    };
+    std::vector<SimdAb> simd_ab;
+    auto run_with_backend = [&](const Case &c, bool force_scalar) {
+        if (force_scalar)
+            simd::forceBackend(simd::Backend::kScalar);
+        else
+            simd::clearForcedBackend();
+        double wall = runCase(c, instr, warmup).wallSeconds;
+        simd::clearForcedBackend();
+        return wall;
+    };
+    for (const Case &c : cases) {
+        if (c.name.find("epoch500") == std::string::npos)
+            continue;
+        Case batched = c;
+        batched.cfg.batchedInference = true;
+        SimdAb row;
+        row.name = c.name;
+        row.cores = c.cfg.cores;
+        for (unsigned r = 0; r < repeats; ++r) {
+            double w, s;
+            if (r & 1) {
+                s = run_with_backend(batched, true);
+                w = run_with_backend(batched, false);
+            } else {
+                w = run_with_backend(batched, false);
+                s = run_with_backend(batched, true);
+            }
+            if (r == 0 || w < row.wideWall)
+                row.wideWall = w;
+            if (r == 0 || s < row.scalarWall)
+                row.scalarWall = s;
+        }
+        std::cout << "simd A/B " << row.name << ": "
+                  << simd::backendName(simd::activeBackend()) << " "
+                  << row.wideWall << " s, scalar " << row.scalarWall
+                  << " s -> "
+                  << (row.wideWall > 0.0
+                          ? row.scalarWall / row.wideWall
+                          : 0.0)
+                  << "x\n";
+        simd_ab.push_back(row);
+    }
     // A-side aggregates from per-case bests, mirroring what the
     // baseline side gets below. Like-for-like means intersecting
     // case *names*: a baseline binary whose matrix is smaller than
@@ -696,6 +761,23 @@ main(int argc, char **argv)
              << (p.batchedWall > 0.0 ? p.scalarWall / p.batchedWall
                                      : 0.0)
              << "}" << (i + 1 < inf_ab.size() ? "," : "") << "\n";
+    }
+    json << "  ]},\n";
+    // SIMD backend A/B rows, same naming discipline (no "accesses"
+    // / "wall_seconds" keys). "backend" records what side A's auto
+    // dispatch resolved to on this host.
+    json << "  \"simd\": {\"backend\": \""
+         << simd::backendName(simd::activeBackend())
+         << "\", \"cases\": [\n";
+    for (std::size_t i = 0; i < simd_ab.size(); ++i) {
+        const SimdAb &p = simd_ab[i];
+        json << "    {\"name\": \"" << p.name << "\", "
+             << "\"cores\": " << p.cores << ", "
+             << "\"wide_wall_s\": " << p.wideWall << ", "
+             << "\"scalar_backend_wall_s\": " << p.scalarWall << ", "
+             << "\"speedup\": "
+             << (p.wideWall > 0.0 ? p.scalarWall / p.wideWall : 0.0)
+             << "}" << (i + 1 < simd_ab.size() ? "," : "") << "\n";
     }
     json << "  ]},\n";
     json << "  \"cases\": [\n";

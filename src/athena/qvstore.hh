@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/types.hh"
 
 namespace athena
@@ -174,6 +175,9 @@ class QVStore
 
     const QVStoreParams &params() const { return cfg; }
 
+    /** Backend captured at construction (simd::activeBackend()). */
+    simd::Backend simdBackend() const { return backend; }
+
     /** Table 4 storage accounting: planes x rows x actions x 8 b. */
     std::size_t
     storageBits() const
@@ -203,6 +207,19 @@ class QVStore
     /** Summed Q over planes with pre-resolved row indices. */
     double qRows(const std::uint32_t *rows, unsigned action) const;
 
+    /**
+     * Fill batchRows with every plane's row index for @p n states,
+     * laid out plane-major (batchRows[p * n + i] is state i's row
+     * in plane p) so each plane's hash kernel streams one
+     * contiguous lane — the gather-free layout the AVX2 batch path
+     * reads. Recomputes memo-free (row hashing is pure, so results
+     * match the memo path bit-for-bit); full-resolution planes
+     * vector-hash the raw states, coarse planes hash the two
+     * tile-offset coarsenings staged once in coarseScratch.
+     */
+    void materializeRowsSoA(const std::uint32_t *states,
+                            std::size_t n) const;
+
     double entry(unsigned p, std::size_t row, unsigned a) const;
     void addToEntry(unsigned p, std::size_t row, unsigned a,
                     double delta);
@@ -224,6 +241,16 @@ class QVStore
     mutable std::vector<std::uint32_t> rowScratch;
     /** updateBatch phase-1 row staging (reused across batches). */
     std::vector<std::uint32_t> trainRows;
+
+    /** SIMD backend, latched once at construction. */
+    simd::Backend backend = simd::Backend::kScalar;
+    /** Wide row path requires a power-of-two row count (hash masks
+     *  replace the scalar modulo); other geometries stay scalar. */
+    bool vectorRows = false;
+    /** materializeRowsSoA staging: planes x n, plane-major. */
+    mutable std::vector<std::uint32_t> batchRows;
+    /** Coarse tile-coded states, both offsets (2 x n). */
+    mutable std::vector<std::uint32_t> coarseScratch;
 };
 
 } // namespace athena

@@ -1,0 +1,661 @@
+/**
+ * @file
+ * SIMD backend dispatch and kernel implementations.
+ *
+ * The AVX2 bodies are compiled with the per-function avx2 target
+ * attribute (not -mavx2 for the whole TU), so a generic build still
+ * contains them and the runtime CPU check alone decides whether
+ * they run. Each wide path ends in a scalar tail that reuses the
+ * exact reference loop, and the 64-bit multiply AVX2 lacks is
+ * emulated from 32x32 partial products — bit-exact, since the
+ * discarded high half of a 64x64 product never feeds mix64's
+ * result.
+ */
+
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/hashing.hh"
+#include "common/types.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ATHENA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define ATHENA_SIMD_X86 0
+#endif
+
+namespace athena
+{
+namespace simd
+{
+
+namespace
+{
+
+/** forceBackend() override; -1 = none (use the env/CPU latch). */
+std::atomic<int> forcedBackend{-1};
+
+Backend
+envLatchedBackend()
+{
+    static const Backend latched = resolve(
+        parseRequest(std::getenv("ATHENA_SIMD")), avx2Available());
+    return latched;
+}
+
+} // namespace
+
+const char *
+backendName(Backend b)
+{
+    return b == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+bool
+avx2Available()
+{
+#if ATHENA_SIMD_X86
+    static const bool avail = __builtin_cpu_supports("avx2");
+    return avail;
+#else
+    return false;
+#endif
+}
+
+Request
+parseRequest(const char *value)
+{
+    if (!value || !*value)
+        return Request::kAuto;
+    if (std::strcmp(value, "scalar") == 0 ||
+        std::strcmp(value, "0") == 0)
+        return Request::kForceScalar;
+    if (std::strcmp(value, "avx2") == 0)
+        return Request::kForceAvx2;
+    return Request::kAuto;
+}
+
+Backend
+resolve(Request request, bool avx2_ok)
+{
+    switch (request) {
+      case Request::kForceScalar:
+        return Backend::kScalar;
+      case Request::kForceAvx2:
+      case Request::kAuto:
+        break;
+    }
+    return avx2_ok ? Backend::kAvx2 : Backend::kScalar;
+}
+
+Backend
+activeBackend()
+{
+    int forced = forcedBackend.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<Backend>(forced);
+    return envLatchedBackend();
+}
+
+void
+forceBackend(Backend b)
+{
+    if (b == Backend::kAvx2 && !avx2Available())
+        b = Backend::kScalar;
+    forcedBackend.store(static_cast<int>(b),
+                        std::memory_order_relaxed);
+}
+
+void
+clearForcedBackend()
+{
+    forcedBackend.store(-1, std::memory_order_relaxed);
+}
+
+// --- scalar reference kernels (the PR 9 loops) --------------------
+
+namespace
+{
+
+void
+mix64BatchScalar(const std::uint64_t *in, unsigned n,
+                 std::uint64_t *out)
+{
+    for (unsigned i = 0; i < n; ++i)
+        out[i] = mix64(in[i]);
+}
+
+void
+keyedHashMaskBatchScalar(const std::uint32_t *xs, unsigned n,
+                         std::uint64_t key, std::uint32_t mask,
+                         std::uint32_t *rows_out)
+{
+    for (unsigned i = 0; i < n; ++i)
+        rows_out[i] =
+            static_cast<std::uint32_t>(keyedHash(xs[i], key)) & mask;
+}
+
+void
+popetPureIndicesBatchScalar(const std::uint64_t *pcs,
+                            const std::uint64_t *addrs, unsigned n,
+                            std::uint32_t table_mask,
+                            std::uint16_t *idx)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        std::uint64_t pc = pcs[i];
+        std::uint64_t addr = addrs[i];
+        unsigned line_off = pageLineOffset(addr);
+        unsigned byte_off =
+            static_cast<unsigned>(addr & (kLineBytes - 1));
+        std::uint64_t page = pageNumber(addr);
+        std::uint64_t term =
+            0x9e3779b97f4a7c15ull + (pc << 6) + (pc >> 2);
+        std::uint16_t *out = idx + i * 4;
+        out[0] = static_cast<std::uint16_t>(mix64(pc) & table_mask);
+        out[1] = static_cast<std::uint16_t>(
+            mix64(pc ^ (line_off + term)) & table_mask);
+        out[2] = static_cast<std::uint16_t>(
+            mix64(pc ^ (byte_off + term)) & table_mask);
+        out[3] =
+            static_cast<std::uint16_t>(mix64(page) & table_mask);
+    }
+}
+
+void
+deltaSeqFoldBatchScalar(const std::uint32_t *keys, unsigned n,
+                        std::uint64_t *out)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        std::uint64_t seq = 0;
+        for (int shift = 24; shift >= 0; shift -= 8) {
+            auto d = static_cast<std::int8_t>((keys[i] >> shift) &
+                                              0xffu);
+            seq = hashCombine(seq,
+                              static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(d)));
+        }
+        out[i] = seq;
+    }
+}
+
+void
+accumulateRowsF64Scalar(const double *plane,
+                        const std::uint32_t *rows, unsigned n,
+                        unsigned actions, double *q_out)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const double *row =
+            plane + static_cast<std::size_t>(rows[i]) * actions;
+        double *q = q_out + static_cast<std::size_t>(i) * actions;
+        for (unsigned a = 0; a < actions; ++a)
+            q[a] += row[a];
+    }
+}
+
+void
+accumulateRowsI8Scalar(const std::int8_t *plane,
+                       const std::uint32_t *rows, unsigned n,
+                       unsigned actions, double scale,
+                       double *q_out)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const std::int8_t *row =
+            plane + static_cast<std::size_t>(rows[i]) * actions;
+        double *q = q_out + static_cast<std::size_t>(i) * actions;
+        for (unsigned a = 0; a < actions; ++a)
+            q[a] += static_cast<double>(row[a]) / scale;
+    }
+}
+
+unsigned
+scanStridedByteEqScalar(const unsigned char *base, unsigned stride,
+                        unsigned pos, unsigned end,
+                        unsigned char value)
+{
+    while (pos < end &&
+           base[static_cast<std::size_t>(pos) * stride] != value)
+        ++pos;
+    return pos;
+}
+
+unsigned
+collectStridedByteEqScalar(const unsigned char *base,
+                           unsigned stride, unsigned *pos,
+                           unsigned end, unsigned char value,
+                           std::uint16_t *out, unsigned max_out)
+{
+    unsigned p = *pos;
+    unsigned cnt = 0;
+    // Branchless accept: always store the candidate, advance the
+    // count only on a match. At the record window's load densities
+    // (~30-50%) the accept branch is unpredictable, and the
+    // mispredict tax dominated the plane's discovery pass; the
+    // unconditional store is safe because cnt < max_out holds at
+    // every store and callers size out[] for max_out entries
+    // (out[cnt] past the returned count is scratch, never read).
+    while (cnt < max_out && p < end) {
+        out[cnt] = static_cast<std::uint16_t>(p);
+        cnt += (base[static_cast<std::size_t>(p) * stride] == value);
+        ++p;
+    }
+    *pos = p;
+    return cnt;
+}
+
+} // namespace
+
+// --- AVX2 kernels -------------------------------------------------
+
+#if ATHENA_SIMD_X86
+
+#define ATHENA_TARGET_AVX2 __attribute__((target("avx2")))
+
+namespace
+{
+
+/**
+ * Exact 64-bit lane-wise multiply (AVX2 has no _mm256_mullo_epi64):
+ * lo64(a * b) = lo32(a)*lo32(b) + ((lo32(a)*hi32(b) +
+ * hi32(a)*lo32(b)) << 32), all mod 2^64.
+ */
+ATHENA_TARGET_AVX2 inline __m256i
+mullo64(__m256i a, __m256i b)
+{
+    __m256i lo = _mm256_mul_epu32(a, b);
+    __m256i cross =
+        _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                         _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/** mix64 over four lanes. */
+ATHENA_TARGET_AVX2 inline __m256i
+mix64v(__m256i x)
+{
+    const __m256i m1 = _mm256_set1_epi64x(
+        static_cast<long long>(0xff51afd7ed558ccdull));
+    const __m256i m2 = _mm256_set1_epi64x(
+        static_cast<long long>(0xc4ceb9fe1a85ec53ull));
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+    x = mullo64(x, m1);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+    x = mullo64(x, m2);
+    return _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+}
+
+/** hashCombine over four lanes. */
+ATHENA_TARGET_AVX2 inline __m256i
+hashCombineV(__m256i a, __m256i b)
+{
+    const __m256i phi = _mm256_set1_epi64x(
+        static_cast<long long>(0x9e3779b97f4a7c15ull));
+    __m256i t = _mm256_add_epi64(b, phi);
+    t = _mm256_add_epi64(t, _mm256_slli_epi64(a, 6));
+    t = _mm256_add_epi64(t, _mm256_srli_epi64(a, 2));
+    return mix64v(_mm256_xor_si256(a, t));
+}
+
+ATHENA_TARGET_AVX2 void
+mix64BatchAvx2(const std::uint64_t *in, unsigned n,
+               std::uint64_t *out)
+{
+    unsigned i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            mix64v(x));
+    }
+    mix64BatchScalar(in + i, n - i, out + i);
+}
+
+ATHENA_TARGET_AVX2 void
+keyedHashMaskBatchAvx2(const std::uint32_t *xs, unsigned n,
+                       std::uint64_t key, std::uint32_t mask,
+                       std::uint32_t *rows_out)
+{
+    const __m256i mul = _mm256_set1_epi64x(
+        static_cast<long long>(2 * key + 1));
+    const __m256i add = _mm256_set1_epi64x(
+        static_cast<long long>(0x632be59bd9b4e019ull * (key + 1)));
+    const __m256i maskv =
+        _mm256_set1_epi64x(static_cast<long long>(mask));
+    unsigned i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i x = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(xs + i)));
+        x = _mm256_add_epi64(mullo64(x, mul), add);
+        x = _mm256_and_si256(mix64v(x), maskv);
+        alignas(32) std::uint64_t lanes[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), x);
+        for (unsigned j = 0; j < 4; ++j)
+            rows_out[i + j] = static_cast<std::uint32_t>(lanes[j]);
+    }
+    keyedHashMaskBatchScalar(xs + i, n - i, key, mask, rows_out + i);
+}
+
+ATHENA_TARGET_AVX2 void
+popetPureIndicesBatchAvx2(const std::uint64_t *pcs,
+                          const std::uint64_t *addrs, unsigned n,
+                          std::uint32_t table_mask,
+                          std::uint16_t *idx)
+{
+    const __m256i tm =
+        _mm256_set1_epi64x(static_cast<long long>(table_mask));
+    const __m256i phi = _mm256_set1_epi64x(
+        static_cast<long long>(0x9e3779b97f4a7c15ull));
+    const __m256i line_mask =
+        _mm256_set1_epi64x(kLinesPerPage - 1);
+    const __m256i byte_mask = _mm256_set1_epi64x(kLineBytes - 1);
+    unsigned i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i pc = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pcs + i));
+        __m256i ad = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(addrs + i));
+        __m256i line_off = _mm256_and_si256(
+            _mm256_srli_epi64(ad, kLineShift), line_mask);
+        __m256i byte_off = _mm256_and_si256(ad, byte_mask);
+        __m256i page = _mm256_srli_epi64(ad, kPageShift);
+        __m256i term = _mm256_add_epi64(
+            phi, _mm256_add_epi64(_mm256_slli_epi64(pc, 6),
+                                  _mm256_srli_epi64(pc, 2)));
+        alignas(32) std::uint64_t f[4][4];
+        _mm256_store_si256(
+            reinterpret_cast<__m256i *>(f[0]),
+            _mm256_and_si256(mix64v(pc), tm));
+        _mm256_store_si256(
+            reinterpret_cast<__m256i *>(f[1]),
+            _mm256_and_si256(
+                mix64v(_mm256_xor_si256(
+                    pc, _mm256_add_epi64(line_off, term))),
+                tm));
+        _mm256_store_si256(
+            reinterpret_cast<__m256i *>(f[2]),
+            _mm256_and_si256(
+                mix64v(_mm256_xor_si256(
+                    pc, _mm256_add_epi64(byte_off, term))),
+                tm));
+        _mm256_store_si256(
+            reinterpret_cast<__m256i *>(f[3]),
+            _mm256_and_si256(mix64v(page), tm));
+        for (unsigned j = 0; j < 4; ++j) {
+            std::uint16_t *out = idx + (i + j) * 4;
+            out[0] = static_cast<std::uint16_t>(f[0][j]);
+            out[1] = static_cast<std::uint16_t>(f[1][j]);
+            out[2] = static_cast<std::uint16_t>(f[2][j]);
+            out[3] = static_cast<std::uint16_t>(f[3][j]);
+        }
+    }
+    popetPureIndicesBatchScalar(pcs + i, addrs + i, n - i,
+                                table_mask, idx + i * 4);
+}
+
+ATHENA_TARGET_AVX2 void
+deltaSeqFoldBatchAvx2(const std::uint32_t *keys, unsigned n,
+                      std::uint64_t *out)
+{
+    const __m256i byte_mask = _mm256_set1_epi64x(0xff);
+    const __m256i sign_bit = _mm256_set1_epi64x(0x80);
+    unsigned i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i key = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys + i)));
+        __m256i seq = _mm256_setzero_si256();
+        for (int shift = 24; shift >= 0; shift -= 8) {
+            __m256i d = _mm256_and_si256(
+                _mm256_srli_epi64(key, shift), byte_mask);
+            // Sign-extend the int8 lane to 64 bits:
+            // (v ^ 0x80) - 0x80.
+            d = _mm256_sub_epi64(_mm256_xor_si256(d, sign_bit),
+                                 sign_bit);
+            seq = hashCombineV(seq, d);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            seq);
+    }
+    deltaSeqFoldBatchScalar(keys + i, n - i, out + i);
+}
+
+ATHENA_TARGET_AVX2 void
+accumulateRowsF64Avx2(const double *plane,
+                      const std::uint32_t *rows, unsigned n,
+                      unsigned actions, double *q_out)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const double *row =
+            plane + static_cast<std::size_t>(rows[i]) * actions;
+        double *q = q_out + static_cast<std::size_t>(i) * actions;
+        unsigned a = 0;
+        for (; a + 4 <= actions; a += 4) {
+            _mm256_storeu_pd(
+                q + a, _mm256_add_pd(_mm256_loadu_pd(q + a),
+                                     _mm256_loadu_pd(row + a)));
+        }
+        for (; a < actions; ++a)
+            q[a] += row[a];
+    }
+}
+
+ATHENA_TARGET_AVX2 void
+accumulateRowsI8Avx2(const std::int8_t *plane,
+                     const std::uint32_t *rows, unsigned n,
+                     unsigned actions, double scale, double *q_out)
+{
+    const __m256d scalev = _mm256_set1_pd(scale);
+    for (unsigned i = 0; i < n; ++i) {
+        const std::int8_t *row =
+            plane + static_cast<std::size_t>(rows[i]) * actions;
+        double *q = q_out + static_cast<std::size_t>(i) * actions;
+        unsigned a = 0;
+        for (; a + 4 <= actions; a += 4) {
+            std::int32_t word;
+            std::memcpy(&word, row + a, sizeof(word));
+            __m256d v = _mm256_div_pd(
+                _mm256_cvtepi32_pd(
+                    _mm_cvtepi8_epi32(_mm_cvtsi32_si128(word))),
+                scalev);
+            _mm256_storeu_pd(
+                q + a, _mm256_add_pd(_mm256_loadu_pd(q + a), v));
+        }
+        for (; a < actions; ++a)
+            q[a] += static_cast<double>(row[a]) / scale;
+    }
+}
+
+ATHENA_TARGET_AVX2 inline unsigned
+gatherByteEqMask(const unsigned char *base, unsigned stride,
+                 unsigned pos, unsigned char value)
+{
+    const __m256i lane_idx =
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    __m256i off = _mm256_mullo_epi32(
+        _mm256_add_epi32(_mm256_set1_epi32(
+                             static_cast<int>(pos)),
+                         lane_idx),
+        _mm256_set1_epi32(static_cast<int>(stride)));
+    __m256i g = _mm256_i32gather_epi32(
+        reinterpret_cast<const int *>(base), off, 1);
+    __m256i eq = _mm256_cmpeq_epi32(
+        _mm256_and_si256(g, _mm256_set1_epi32(0xff)),
+        _mm256_set1_epi32(value));
+    return static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+
+ATHENA_TARGET_AVX2 unsigned
+scanStridedByteEqAvx2(const unsigned char *base, unsigned stride,
+                      unsigned pos, unsigned end,
+                      unsigned char value)
+{
+    while (pos + 8 <= end) {
+        unsigned mask = gatherByteEqMask(base, stride, pos, value);
+        if (mask)
+            return pos + static_cast<unsigned>(
+                             __builtin_ctz(mask));
+        pos += 8;
+    }
+    return scanStridedByteEqScalar(base, stride, pos, end, value);
+}
+
+ATHENA_TARGET_AVX2 unsigned
+collectStridedByteEqAvx2(const unsigned char *base, unsigned stride,
+                         unsigned *pos, unsigned end,
+                         unsigned char value, std::uint16_t *out,
+                         unsigned max_out)
+{
+    unsigned p = *pos;
+    unsigned cnt = 0;
+    while (cnt < max_out && p + 8 <= end) {
+        unsigned mask = gatherByteEqMask(base, stride, p, value);
+        unsigned consumed = 8;
+        while (mask) {
+            unsigned bit =
+                static_cast<unsigned>(__builtin_ctz(mask));
+            out[cnt++] = static_cast<std::uint16_t>(p + bit);
+            mask &= mask - 1;
+            if (cnt == max_out) {
+                // Quota filled mid-span: stop exactly past the
+                // accepting index, like the scalar loop, so any
+                // remaining matches are re-examined later.
+                consumed = bit + 1;
+                break;
+            }
+        }
+        p += consumed;
+    }
+    *pos = p;
+    return cnt + collectStridedByteEqScalar(base, stride, pos, end,
+                                            value, out + cnt,
+                                            max_out - cnt);
+}
+
+} // namespace
+
+#endif // ATHENA_SIMD_X86
+
+// --- dispatch shims -----------------------------------------------
+
+void
+mix64Batch(Backend b, const std::uint64_t *in, unsigned n,
+           std::uint64_t *out)
+{
+#if ATHENA_SIMD_X86
+    if (b == Backend::kAvx2) {
+        mix64BatchAvx2(in, n, out);
+        return;
+    }
+#endif
+    (void)b;
+    mix64BatchScalar(in, n, out);
+}
+
+void
+keyedHashMaskBatch(Backend b, const std::uint32_t *xs, unsigned n,
+                   std::uint64_t key, std::uint32_t mask,
+                   std::uint32_t *rows_out)
+{
+#if ATHENA_SIMD_X86
+    if (b == Backend::kAvx2) {
+        keyedHashMaskBatchAvx2(xs, n, key, mask, rows_out);
+        return;
+    }
+#endif
+    (void)b;
+    keyedHashMaskBatchScalar(xs, n, key, mask, rows_out);
+}
+
+void
+popetPureIndicesBatch(Backend b, const std::uint64_t *pcs,
+                      const std::uint64_t *addrs, unsigned n,
+                      std::uint32_t table_mask, std::uint16_t *idx)
+{
+#if ATHENA_SIMD_X86
+    if (b == Backend::kAvx2) {
+        popetPureIndicesBatchAvx2(pcs, addrs, n, table_mask, idx);
+        return;
+    }
+#endif
+    (void)b;
+    popetPureIndicesBatchScalar(pcs, addrs, n, table_mask, idx);
+}
+
+void
+deltaSeqFoldBatch(Backend b, const std::uint32_t *keys, unsigned n,
+                  std::uint64_t *out)
+{
+#if ATHENA_SIMD_X86
+    if (b == Backend::kAvx2) {
+        deltaSeqFoldBatchAvx2(keys, n, out);
+        return;
+    }
+#endif
+    (void)b;
+    deltaSeqFoldBatchScalar(keys, n, out);
+}
+
+void
+accumulateRowsF64(Backend b, const double *plane,
+                  const std::uint32_t *rows, unsigned n,
+                  unsigned actions, double *q_out)
+{
+#if ATHENA_SIMD_X86
+    if (b == Backend::kAvx2) {
+        accumulateRowsF64Avx2(plane, rows, n, actions, q_out);
+        return;
+    }
+#endif
+    (void)b;
+    accumulateRowsF64Scalar(plane, rows, n, actions, q_out);
+}
+
+void
+accumulateRowsI8(Backend b, const std::int8_t *plane,
+                 const std::uint32_t *rows, unsigned n,
+                 unsigned actions, double scale, double *q_out)
+{
+#if ATHENA_SIMD_X86
+    if (b == Backend::kAvx2) {
+        accumulateRowsI8Avx2(plane, rows, n, actions, scale, q_out);
+        return;
+    }
+#endif
+    (void)b;
+    accumulateRowsI8Scalar(plane, rows, n, actions, scale, q_out);
+}
+
+unsigned
+scanStridedByteEq(Backend b, const unsigned char *base,
+                  unsigned stride, unsigned pos, unsigned end,
+                  unsigned char value)
+{
+#if ATHENA_SIMD_X86
+    if (b == Backend::kAvx2)
+        return scanStridedByteEqAvx2(base, stride, pos, end, value);
+#endif
+    (void)b;
+    return scanStridedByteEqScalar(base, stride, pos, end, value);
+}
+
+unsigned
+collectStridedByteEq(Backend b, const unsigned char *base,
+                     unsigned stride, unsigned *pos, unsigned end,
+                     unsigned char value, std::uint16_t *out,
+                     unsigned max_out)
+{
+#if ATHENA_SIMD_X86
+    if (b == Backend::kAvx2)
+        return collectStridedByteEqAvx2(base, stride, pos, end,
+                                        value, out, max_out);
+#endif
+    (void)b;
+    return collectStridedByteEqScalar(base, stride, pos, end, value,
+                                      out, max_out);
+}
+
+} // namespace simd
+} // namespace athena

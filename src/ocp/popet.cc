@@ -5,6 +5,7 @@
 
 #include "ocp/popet.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -77,6 +78,25 @@ PopetPredictor::pureFeatureIndicesBatch(const std::uint64_t *pcs,
 }
 
 void
+PopetPredictor::pureFeatureIndicesBatch(simd::Backend backend,
+                                        const std::uint64_t *pcs,
+                                        const Addr *addrs,
+                                        unsigned n,
+                                        std::uint16_t *idx)
+{
+    static_assert(kPureFeatures == 4,
+                  "the SIMD kernel packs four indices per access");
+    static_assert((kTableSize & (kTableSize - 1)) == 0,
+                  "lane masking requires a power-of-two table");
+    if (backend == simd::Backend::kScalar) {
+        pureFeatureIndicesBatch(pcs, addrs, n, idx);
+        return;
+    }
+    simd::popetPureIndicesBatch(backend, pcs, addrs, n,
+                                kTableSize - 1, idx);
+}
+
+void
 PopetPredictor::pureFeatureIndicesBatch(const std::uint64_t *pcs,
                                         const Addr *addrs,
                                         unsigned n,
@@ -86,6 +106,66 @@ PopetPredictor::pureFeatureIndicesBatch(const std::uint64_t *pcs,
     for (unsigned i = 0; i < n; ++i)
         pureIndicesMemoInto(pcs[i], addrs[i], memo,
                             idx + i * kPureFeatures);
+}
+
+void
+PopetPredictor::pureFeatureIndicesBatch(simd::Backend backend,
+                                        const std::uint64_t *pcs,
+                                        const Addr *addrs,
+                                        unsigned n,
+                                        std::uint16_t *idx,
+                                        PureBatchMemo &memo)
+{
+    if (backend == simd::Backend::kScalar) {
+        pureFeatureIndicesBatch(pcs, addrs, n, idx, memo);
+        return;
+    }
+    // Scalar memo pass fills features 0/3 and stages the offset-mix
+    // arguments; the backend kernel then mixes features 1/2 four
+    // lanes at a time. The span matches the plane's chunk size so
+    // one plane chunk is one kernel call.
+    constexpr unsigned kSpan = 32;
+    std::uint64_t args[2 * kSpan];
+    std::uint64_t mixed[2 * kSpan];
+    for (unsigned base = 0; base < n; base += kSpan) {
+        const unsigned cnt = std::min(n - base, kSpan);
+        for (unsigned j = 0; j < cnt; ++j) {
+            const std::uint64_t pc = pcs[base + j];
+            const Addr addr = addrs[base + j];
+            auto &pe = memo.pcs[(pc >> 4) &
+                                (PureBatchMemo::kPcEntries - 1)];
+            if (!pe.valid || pe.pc != pc) {
+                pe.pc = pc;
+                pe.valid = true;
+                pe.term = pcHashTerm(pc);
+                pe.idx = static_cast<std::uint16_t>(mix64(pc) %
+                                                    kTableSize);
+            }
+            const Addr page = pageNumber(addr);
+            if (!memo.pageValid || page != memo.page) {
+                memo.page = page;
+                memo.pageValid = true;
+                memo.pageIdx = static_cast<std::uint16_t>(
+                    mix64(page) % kTableSize);
+            }
+            std::uint16_t *out = idx + (base + j) * kPureFeatures;
+            out[0] = pe.idx;
+            out[3] = memo.pageIdx;
+            const unsigned line_off = pageLineOffset(addr);
+            const unsigned byte_off =
+                static_cast<unsigned>(addr & (kLineBytes - 1));
+            args[2 * j] = pc ^ (line_off + pe.term);
+            args[2 * j + 1] = pc ^ (byte_off + pe.term);
+        }
+        simd::mix64Batch(backend, args, 2 * cnt, mixed);
+        for (unsigned j = 0; j < cnt; ++j) {
+            std::uint16_t *out = idx + (base + j) * kPureFeatures;
+            out[1] = static_cast<std::uint16_t>(
+                mixed[2 * j] & (kTableSize - 1));
+            out[2] = static_cast<std::uint16_t>(
+                mixed[2 * j + 1] & (kTableSize - 1));
+        }
+    }
 }
 
 void

@@ -21,6 +21,7 @@
 
 #include "common/hashing.hh"
 #include "common/sat_counter.hh"
+#include "common/simd.hh"
 #include "ocp/ocp.hh"
 
 namespace athena
@@ -50,6 +51,19 @@ class PopetPredictor final : public OffChipPredictor
      * collector runs this once per pulled record batch.
      */
     static void pureFeatureIndicesBatch(const std::uint64_t *pcs,
+                                        const Addr *addrs,
+                                        unsigned n,
+                                        std::uint16_t *idx);
+
+    /**
+     * Backend-dispatched variant: the scalar backend is the
+     * memo-free loop above verbatim; the AVX2 backend hashes four
+     * accesses per step through the widened mix64 (the kTableSize
+     * modulo becomes a lane mask — identical, the table size is a
+     * power of two). Bit-identical across backends.
+     */
+    static void pureFeatureIndicesBatch(simd::Backend backend,
+                                        const std::uint64_t *pcs,
                                         const Addr *addrs,
                                         unsigned n,
                                         std::uint16_t *idx);
@@ -87,11 +101,27 @@ class PopetPredictor final : public OffChipPredictor
     };
 
     /**
-     * pureFeatureIndicesBatch with a persistent memo — the variant
-     * the simulator's window collector runs. Same outputs as the
-     * memo-free kernel for any memo state.
+     * pureFeatureIndicesBatch with a persistent memo. Same outputs
+     * as the memo-free kernel for any memo state.
      */
     static void pureFeatureIndicesBatch(const std::uint64_t *pcs,
+                                        const Addr *addrs,
+                                        unsigned n,
+                                        std::uint16_t *idx,
+                                        PureBatchMemo &memo);
+
+    /**
+     * Memo + backend variant — what the simulator's window
+     * collector runs. The memo probes stay scalar (features 0 and
+     * 3: a validated load beats re-mixing when demand streams
+     * rotate through a handful of PCs and dwell on a page), while
+     * the two per-access offset mixes (features 1 and 2), which no
+     * memo can capture, run through the backend's widened mix64.
+     * Bit-identical to the scalar memo loop for any backend and
+     * memo state.
+     */
+    static void pureFeatureIndicesBatch(simd::Backend backend,
+                                        const std::uint64_t *pcs,
                                         const Addr *addrs,
                                         unsigned n,
                                         std::uint16_t *idx,

@@ -127,6 +127,20 @@ void
 PythiaPrefetcher::deltaSeqHashBatch(const std::uint32_t *keys,
                                     unsigned n, std::uint64_t *out)
 {
+    if (backend != simd::Backend::kScalar && batchedHashing &&
+        n > 1) {
+        // Wide path: fold every key four lanes at a time, then
+        // install the memo entries in batch order. The fold is
+        // pure, so out[] matches the probe path bitwise; the final
+        // memo state matches too — each direct-mapped slot ends
+        // with its last writer's {key, seq}, and on a would-be hit
+        // the unconditional install rewrites the identical value.
+        simd::deltaSeqFoldBatch(backend, keys, n, out);
+        for (unsigned i = 0; i < n; ++i)
+            seqMemo[keys[i] & (kSeqMemoSize - 1)] = {keys[i], true,
+                                                     out[i]};
+        return;
+    }
     for (unsigned i = 0; i < n; ++i)
         out[i] = seqHashLookup(keys[i]);
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace athena
@@ -207,6 +208,8 @@ class PythiaPrefetcher final : public Prefetcher
     std::array<SeqMemoEntry, kSeqMemoSize> seqMemo{};
     /** See setBatchedHashing(). */
     bool batchedHashing = true;
+    /** SIMD backend for the batch fold, latched at construction. */
+    simd::Backend backend = simd::activeBackend();
     std::uint32_t histKey = 0; ///< Packed deltaHistory (newest low).
 };
 

@@ -9,6 +9,7 @@
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -16,13 +17,17 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "athena/agent.hh"
+#include "common/simd.hh"
 #include "coord/simple.hh"
 #include "coord/tlp.hh"
 #include "ocp/popet.hh"
+#include "prefetch/ipcp.hh"
 #include "prefetch/pythia.hh"
+#include "prefetch/sms.hh"
 #include "sim/step_picker.hh"
 #include "sim/thread_pool.hh"
 #include "snapshot/snapshot.hh"
@@ -185,18 +190,18 @@ struct Simulator::PrefetchFillBatch
 /**
  * Window-collected POPET feature columns — the batched SoA
  * inference plane of one core. The plane tracks the core's current
- * record batch (refillSequence()); demand-load positions are
- * discovered by a lazy forward scan fused into serving, and the
- * four (pc, addr)-pure feature-table indices are computed in SoA
- * chunks (PopetPredictor::pureFeatureIndicesBatch with the
- * persistent memo) as the serve cursor advances. Plane work is
- * therefore proportional to the records actually traversed: a
- * window whose loads are mostly skipped (OCP gating off — Athena
- * epochs are shorter than the record window) pays neither a
- * full-window scan nor more than a chunk of speculative hashing.
- * doLoad serves each load's prepared row by cursor + (pc, addr)
- * match against the record buffer and hashes only the history
- * feature at access time.
+ * record batch (refillSequence()); on the first predicted load of
+ * a fresh window one branchless pass builds the whole demand-load
+ * position column (simd::collectStridedByteEq over the kind-byte
+ * stream), and the four (pc, addr)-pure feature-table indices are
+ * computed in SoA chunks (PopetPredictor::pureFeatureIndicesBatch
+ * with the persistent memo) as the serve cursor advances. Windows
+ * the predictor never touches (OCP gating off — Athena epochs can
+ * gate whole windows) cost nothing, and hashing stays lazy: at
+ * most one chunk of speculative feature work past the served
+ * cursor. doLoad serves each load's prepared row by cursor +
+ * (pc, addr) match against the record buffer and hashes only the
+ * history feature at access time.
  *
  * The plane is a pure cache: a cursor mismatch (e.g. the first
  * window after a mid-buffer snapshot restore, or loads skipped
@@ -213,8 +218,7 @@ struct OcpBatchPlane
     /** Lazy feature-compute granularity (SoA kernel batch size). */
     static constexpr unsigned kChunk = 32;
     std::uint64_t seq = ~0ull; ///< refillSequence() last seen.
-    unsigned scanPos = 0;      ///< Next record index to examine.
-    unsigned count = 0;        ///< Load rows discovered so far.
+    unsigned count = 0;        ///< Load rows in the window's column.
     unsigned cursor = 0;       ///< Next row to serve.
     unsigned computed = 0;     ///< Rows with feature indices ready.
     /** Record-buffer position of each discovered load (the rows'
@@ -227,7 +231,20 @@ struct OcpBatchPlane
      *  (pc/page terms repeat across windows); never affects
      *  results. */
     PopetPredictor::PureBatchMemo memo;
+    /** SIMD backend for the chunk hash kernels, latched when the
+     *  plane is (re)constructed (the load-column build always uses
+     *  the branchless scalar collect — see popetPreparedRow). */
+    simd::Backend backend = simd::activeBackend();
 };
+
+/** The plane's strided scans read TraceRecord::kind as a raw byte
+ *  column; the AVX2 gather reads the 3 bytes after it, which the
+ *  fixed 24-byte record layout keeps in-bounds for every row. */
+static_assert(std::is_standard_layout_v<TraceRecord>,
+              "kind-byte scans need a fixed record layout");
+static_assert(offsetof(TraceRecord, kind) + 4 <=
+                  sizeof(TraceRecord),
+              "kind-byte scans read 4 bytes per record");
 
 /** All per-core state. */
 struct Simulator::CoreCtx
@@ -275,6 +292,16 @@ struct Simulator::CoreCtx
      */
     PopetPredictor *popet = nullptr;
     OcpBatchPlane ocpPlane;
+
+    /**
+     * Non-null iff the plane also feeds the prefetcher trigger
+     * path: when a chunk of load rows is materialized, the same
+     * gathered (pc, addr) stream primes IPCP's signature memo and
+     * SMS's region-key memo, so their per-trigger hashing becomes
+     * a validated probe. Resolved at construction alongside popet.
+     */
+    IpcpPrefetcher *ipcp = nullptr;
+    SmsPrefetcher *sms = nullptr;
 
     /** Prefetch-induced LLC pollution tracker (section 5.2.3). */
     BloomFilter pollutionBloom{4096, 2};
@@ -346,6 +373,12 @@ Simulator::Simulator(const SystemConfig &config,
             if (auto *py =
                     dynamic_cast<PythiaPrefetcher *>(pf.get()))
                 py->setBatchedHashing(plane_on);
+            else if (auto *ip =
+                         dynamic_cast<IpcpPrefetcher *>(pf.get()))
+                ip->setBatchedHashing(plane_on);
+            else if (auto *sm =
+                         dynamic_cast<SmsPrefetcher *>(pf.get()))
+                sm->setBatchedHashing(plane_on);
         }
         for (unsigned s = 0; s < ctx->prefetchers.size(); ++s) {
             unsigned lvl = ctx->prefetchers[s]->level() ==
@@ -361,6 +394,16 @@ Simulator::Simulator(const SystemConfig &config,
             ctx->ocp->kind() == OcpKind::kPopet) {
             ctx->popet =
                 static_cast<PopetPredictor *>(ctx->ocp.get());
+            // The plane's chunk gather doubles as the prefetcher
+            // trigger-path feed (prepareTriggerBatch).
+            for (auto &pf : ctx->prefetchers) {
+                if (auto *ip =
+                        dynamic_cast<IpcpPrefetcher *>(pf.get()))
+                    ctx->ipcp = ip;
+                else if (auto *sm =
+                             dynamic_cast<SmsPrefetcher *>(pf.get()))
+                    ctx->sms = sm;
+            }
         }
         ctx->policy = makePolicy(
             cfg, static_cast<unsigned>(ctx->prefetchers.size()));
@@ -671,18 +714,35 @@ const std::uint16_t *
 Simulator::popetPreparedRow(CoreCtx &cc, std::uint64_t pc, Addr addr)
 {
     OcpBatchPlane &pl = cc.ocpPlane;
+    const TraceRecord *rec = cc.core->windowRecords();
     if (pl.seq != cc.core->refillSequence()) {
-        // Fresh record batch: reset the plane's view. Load rows are
-        // discovered by the lazy scan below, so an untouched tail
-        // of the window costs nothing.
+        // Fresh record batch: one branchless pass over the kind
+        // bytes builds the window's whole load-position column.
+        // Eager beats the lazy chunked scan here — per-chunk call
+        // and resync overhead exceeded the ~1 op/record column
+        // build, and windows the predictor never touches still pay
+        // nothing (this runs on the first predicted load only).
         pl.seq = cc.core->refillSequence();
-        pl.scanPos = cc.core->windowBase();
-        pl.count = 0;
         pl.cursor = 0;
         pl.computed = 0;
+        const auto *kinds =
+            reinterpret_cast<const unsigned char *>(rec) +
+            offsetof(TraceRecord, kind);
+        unsigned scan = cc.core->windowBase();
+        // Deliberately the scalar kernel regardless of pl.backend:
+        // a stride-24 byte scan gives AVX2 nothing to chew on but a
+        // gather, and BM_SimdStridedCollect measures the gather at
+        // ~0.7x of the branchless loop on gather-slow hosts. Both
+        // implementations stay dispatchable (tests and benches pin
+        // their equivalence); the hash kernels below do honor the
+        // plane's backend.
+        pl.count = simd::collectStridedByteEq(
+            simd::Backend::kScalar, kinds,
+            static_cast<unsigned>(sizeof(TraceRecord)), &scan,
+            cc.core->windowLen(),
+            static_cast<unsigned char>(InstrKind::kLoad),
+            pl.loadPos.data(), OcpBatchPlane::kCapacity);
     }
-    const TraceRecord *rec = cc.core->windowRecords();
-    const unsigned len = cc.core->windowLen();
     // The demand stream visits the window's loads in order, so the
     // cursor row matches on the first probe in the steady state.
     // On mismatch (post-restore window, or loads skipped while OCP
@@ -690,43 +750,39 @@ Simulator::popetPreparedRow(CoreCtx &cc, std::uint64_t pc, Addr addr)
     // already served or never will be, and any (pc, addr) match is
     // exact because the indices are pure.
     for (;;) {
-        if (pl.cursor == pl.count) {
-            // Discover the next load row.
-            while (pl.scanPos < len &&
-                   rec[pl.scanPos].kind != InstrKind::kLoad)
-                ++pl.scanPos;
-            if (pl.scanPos == len)
-                return nullptr;
-            pl.loadPos[pl.count++] =
-                static_cast<std::uint16_t>(pl.scanPos++);
-        }
+        if (pl.cursor == pl.count)
+            return nullptr;
         const unsigned i = pl.cursor++;
         const TraceRecord &r = rec[pl.loadPos[i]];
         if (r.pc != pc || r.addr != addr)
             continue;
         if (i >= pl.computed) {
             // Materialize the next chunk of pure feature rows in
-            // one SoA pass: extend discovery to fill the chunk,
-            // then run the kernel row fused with the record gather
-            // (pureIndicesMemoInto is header-inline; no (pc, addr)
-            // copy arrays). Rows the cursor already skipped
-            // ([computed, i)) can never be served — the cursor
-            // only advances — so the chunk starts at i.
-            while (pl.count < i + OcpBatchPlane::kChunk &&
-                   pl.scanPos < len) {
-                if (rec[pl.scanPos].kind == InstrKind::kLoad)
-                    pl.loadPos[pl.count++] =
-                        static_cast<std::uint16_t>(pl.scanPos);
-                ++pl.scanPos;
-            }
+            // one SoA pass: gather the rows' (pc, addr) once and
+            // run the backend's hash kernel over the whole chunk.
+            // Rows the cursor already skipped ([computed, i)) can
+            // never be served — the cursor only advances — so the
+            // chunk starts at i.
             const unsigned end =
                 std::min(pl.count, i + OcpBatchPlane::kChunk);
-            for (unsigned j = i; j < end; ++j) {
-                const TraceRecord &c = rec[pl.loadPos[j]];
-                PopetPredictor::pureIndicesMemoInto(
-                    c.pc, c.addr, pl.memo,
-                    &pl.idx[j * PopetPredictor::kPureFeatures]);
+            const unsigned cnt = end - i;
+            std::uint64_t pcs[OcpBatchPlane::kChunk];
+            Addr addrs[OcpBatchPlane::kChunk];
+            for (unsigned j = 0; j < cnt; ++j) {
+                const TraceRecord &c = rec[pl.loadPos[i + j]];
+                pcs[j] = c.pc;
+                addrs[j] = c.addr;
             }
+            PopetPredictor::pureFeatureIndicesBatch(
+                pl.backend, pcs, addrs, cnt,
+                &pl.idx[i * PopetPredictor::kPureFeatures],
+                pl.memo);
+            // Same gathered stream primes the prefetcher trigger
+            // path (pure memo feed; results unchanged).
+            if (cc.ipcp)
+                cc.ipcp->prepareTriggerBatch(pcs, cnt);
+            if (cc.sms)
+                cc.sms->prepareTriggerBatch(pcs, addrs, cnt);
             pl.computed = end;
         }
         return &pl.idx[i * PopetPredictor::kPureFeatures];

@@ -95,6 +95,13 @@ struct SystemConfig
      * a belt-and-braces escape hatch), so like `label` it is
      * excluded from configKey(). Env override:
      * ATHENA_INFERENCE_BATCH=0 forces it off process-wide.
+     *
+     * The plane's kernels are additionally SIMD-widened: the
+     * backend (portable scalar vs. runtime-dispatched AVX2) is
+     * selected once per construction via simd::activeBackend(),
+     * overridable process-wide with ATHENA_SIMD=scalar|avx2|auto.
+     * Backends are bit-identical (see tests/test_simd_kernels.cc);
+     * this knob still governs whether the plane runs at all.
      */
     bool batchedInference = true;
 

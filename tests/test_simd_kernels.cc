@@ -1,0 +1,619 @@
+/**
+ * @file
+ * SIMD backend equivalence oracles: every widened kernel must be
+ * bit-identical to its scalar reference, and the dispatch rule
+ * must degrade cleanly on hosts without AVX2.
+ *
+ * Layers:
+ *  - Dispatch: parseRequest/resolve pinned as pure functions
+ *    (auto -> AVX2 iff available, forced-AVX2 falls back to scalar
+ *    when unavailable), plus the forceBackend override clamp.
+ *  - Kernels: mix64Batch, keyedHashMaskBatch, the POPET pure
+ *    four-feature kernel, Pythia's delta-sequence fold, both Q-row
+ *    accumulators, and the strided kind-byte scan/collect pair —
+ *    each AVX2 result compared element-wise against the scalar
+ *    backend and an independent straight-from-the-formula
+ *    reference, over ragged randomized batches.
+ *  - Components: QVStore lookupBatch/qRowsBatch with a forced
+ *    backend vs per-state q(), all storage modes; Pythia's batch
+ *    fold vs per-key probes including final memo state.
+ *  - Whole-sim: a forced-scalar and a forced-AVX2 run of the
+ *    OCP-hot epoch500 config must produce byte-equal SimResults
+ *    (skipped, like all AVX2 cases, where the CPU lacks AVX2).
+ */
+
+#include <array>
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+#include "athena/qvstore.hh"
+#include "common/hashing.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "common/types.hh"
+#include "ocp/popet.hh"
+#include "prefetch/pythia.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "snapshot/snapshot.hh"
+#include "trace/zoo.hh"
+
+namespace athena
+{
+namespace
+{
+
+using simd::Backend;
+using simd::Request;
+
+/** Restore the env/CPU dispatch on scope exit, whatever happens. */
+struct ForcedBackendGuard
+{
+    explicit ForcedBackendGuard(Backend b) { simd::forceBackend(b); }
+    ~ForcedBackendGuard() { simd::clearForcedBackend(); }
+};
+
+bool
+avx2()
+{
+    return simd::avx2Available();
+}
+
+// ------------------------------------------------- dispatch rule
+
+TEST(SimdDispatch, ParseRequest)
+{
+    EXPECT_EQ(simd::parseRequest(nullptr), Request::kAuto);
+    EXPECT_EQ(simd::parseRequest(""), Request::kAuto);
+    EXPECT_EQ(simd::parseRequest("auto"), Request::kAuto);
+    EXPECT_EQ(simd::parseRequest("scalar"), Request::kForceScalar);
+    EXPECT_EQ(simd::parseRequest("0"), Request::kForceScalar);
+    EXPECT_EQ(simd::parseRequest("avx2"), Request::kForceAvx2);
+    EXPECT_EQ(simd::parseRequest("bogus"), Request::kAuto);
+}
+
+TEST(SimdDispatch, ResolveFallsBackCleanly)
+{
+    // auto picks AVX2 exactly when the CPU has it.
+    EXPECT_EQ(simd::resolve(Request::kAuto, true), Backend::kAvx2);
+    EXPECT_EQ(simd::resolve(Request::kAuto, false),
+              Backend::kScalar);
+    // Forcing scalar always wins; forcing AVX2 on a host without
+    // it degrades to scalar instead of crashing.
+    EXPECT_EQ(simd::resolve(Request::kForceScalar, true),
+              Backend::kScalar);
+    EXPECT_EQ(simd::resolve(Request::kForceAvx2, true),
+              Backend::kAvx2);
+    EXPECT_EQ(simd::resolve(Request::kForceAvx2, false),
+              Backend::kScalar);
+}
+
+TEST(SimdDispatch, ForceBackendOverridesAndClamps)
+{
+    {
+        ForcedBackendGuard guard(Backend::kScalar);
+        EXPECT_EQ(simd::activeBackend(), Backend::kScalar);
+    }
+    {
+        // Clamped to what the CPU can run.
+        ForcedBackendGuard guard(Backend::kAvx2);
+        EXPECT_EQ(simd::activeBackend(),
+                  avx2() ? Backend::kAvx2 : Backend::kScalar);
+    }
+}
+
+// ------------------------------------------------- hash kernels
+
+/** Ragged sizes covering empty, singleton, odd, sub-vector-width,
+ *  and multi-vector batches. */
+constexpr std::array<unsigned, 6> kRaggedSizes = {0, 1, 3, 17, 64,
+                                                  129};
+
+std::vector<std::uint64_t>
+randomWords(Rng &rng, unsigned n)
+{
+    std::vector<std::uint64_t> v(n);
+    for (std::uint64_t &x : v)
+        x = rng.next();
+    // Pin the edge values where any backend drift would hide.
+    if (n > 0)
+        v[0] = 0;
+    if (n > 1)
+        v[1] = ~0ull;
+    return v;
+}
+
+TEST(SimdKernels, Mix64BatchBackendsAgree)
+{
+    Rng rng(0x51bd1);
+    for (unsigned n : kRaggedSizes) {
+        auto in = randomWords(rng, n);
+        std::vector<std::uint64_t> scalar(n), wide(n);
+        simd::mix64Batch(Backend::kScalar, in.data(), n,
+                         scalar.data());
+        for (unsigned i = 0; i < n; ++i)
+            EXPECT_EQ(scalar[i], mix64(in[i])) << "n=" << n;
+        if (!avx2())
+            continue;
+        simd::mix64Batch(Backend::kAvx2, in.data(), n, wide.data());
+        EXPECT_EQ(scalar, wide) << "n=" << n;
+    }
+}
+
+TEST(SimdKernels, KeyedHashMaskBatchBackendsAgree)
+{
+    Rng rng(0x51bd2);
+    for (unsigned n : kRaggedSizes) {
+        std::vector<std::uint32_t> xs(n);
+        for (std::uint32_t &x : xs)
+            x = static_cast<std::uint32_t>(rng.next());
+        for (std::uint64_t key : {0ull, 3ull, 64ull, 71ull}) {
+            const std::uint32_t mask = 63;
+            std::vector<std::uint32_t> scalar(n), wide(n);
+            simd::keyedHashMaskBatch(Backend::kScalar, xs.data(), n,
+                                     key, mask, scalar.data());
+            for (unsigned i = 0; i < n; ++i) {
+                EXPECT_EQ(scalar[i], keyedHash(xs[i], key) % 64)
+                    << "n=" << n << " key=" << key;
+            }
+            if (!avx2())
+                continue;
+            simd::keyedHashMaskBatch(Backend::kAvx2, xs.data(), n,
+                                     key, mask, wide.data());
+            EXPECT_EQ(scalar, wide) << "n=" << n << " key=" << key;
+        }
+    }
+}
+
+TEST(SimdKernels, PopetPureIndicesBackendsAgree)
+{
+    Rng rng(0x51bd3);
+    for (unsigned n : kRaggedSizes) {
+        std::vector<std::uint64_t> pcs(n);
+        std::vector<Addr> addrs(n);
+        for (unsigned i = 0; i < n; ++i) {
+            // PC/page reuse like a demand stream.
+            pcs[i] = 0x400000 + (rng.next() % 24) * 4;
+            addrs[i] = ((rng.next() % 5) << kPageShift) |
+                       (rng.next() & (kPageBytes - 1));
+        }
+        std::vector<std::uint16_t> ref(n * 4), scalar(n * 4),
+            wide(n * 4);
+        // Memo-free reference kernel (PR 9 path).
+        PopetPredictor::pureFeatureIndicesBatch(
+            pcs.data(), addrs.data(), n, ref.data());
+        PopetPredictor::pureFeatureIndicesBatch(
+            Backend::kScalar, pcs.data(), addrs.data(), n,
+            scalar.data());
+        EXPECT_EQ(ref, scalar) << "n=" << n;
+        // Memo + backend variant (the plane's production path):
+        // same outputs for any backend and any memo state,
+        // including a memo warmed by a different stream.
+        for (bool warm : {false, true}) {
+            PopetPredictor::PureBatchMemo ms, mw;
+            if (warm && n > 0) {
+                std::vector<std::uint16_t> junk(n * 4);
+                PopetPredictor::pureFeatureIndicesBatch(
+                    addrs.data(), pcs.data(), n, junk.data(), ms);
+                PopetPredictor::pureFeatureIndicesBatch(
+                    addrs.data(), pcs.data(), n, junk.data(), mw);
+            }
+            std::vector<std::uint16_t> memo_scalar(n * 4);
+            PopetPredictor::pureFeatureIndicesBatch(
+                Backend::kScalar, pcs.data(), addrs.data(), n,
+                memo_scalar.data(), ms);
+            EXPECT_EQ(ref, memo_scalar) << "n=" << n
+                                        << " warm=" << warm;
+            if (avx2()) {
+                std::vector<std::uint16_t> memo_wide(n * 4);
+                PopetPredictor::pureFeatureIndicesBatch(
+                    Backend::kAvx2, pcs.data(), addrs.data(), n,
+                    memo_wide.data(), mw);
+                EXPECT_EQ(ref, memo_wide)
+                    << "n=" << n << " warm=" << warm;
+            }
+        }
+        if (!avx2())
+            continue;
+        PopetPredictor::pureFeatureIndicesBatch(
+            Backend::kAvx2, pcs.data(), addrs.data(), n,
+            wide.data());
+        EXPECT_EQ(ref, wide) << "n=" << n;
+    }
+}
+
+TEST(SimdKernels, DeltaSeqFoldBackendsAgree)
+{
+    Rng rng(0x51bd4);
+    for (unsigned n : kRaggedSizes) {
+        std::vector<std::uint32_t> keys(n);
+        for (std::uint32_t &k : keys)
+            k = static_cast<std::uint32_t>(rng.next());
+        if (n > 0)
+            keys[0] = 0;
+        if (n > 1)
+            keys[1] = ~0u; // all deltas -1
+        std::vector<std::uint64_t> scalar(n), wide(n);
+        simd::deltaSeqFoldBatch(Backend::kScalar, keys.data(), n,
+                                scalar.data());
+        for (unsigned i = 0; i < n; ++i) {
+            EXPECT_EQ(scalar[i],
+                      PythiaPrefetcher::deltaSeqHash(keys[i]))
+                << "n=" << n << " i=" << i;
+        }
+        if (!avx2())
+            continue;
+        simd::deltaSeqFoldBatch(Backend::kAvx2, keys.data(), n,
+                                wide.data());
+        EXPECT_EQ(scalar, wide) << "n=" << n;
+    }
+}
+
+// ------------------------------------------------- accumulators
+
+TEST(SimdKernels, AccumulateRowsBackendsAgree)
+{
+    constexpr unsigned kRows = 64;
+    Rng rng(0x51bd5);
+    for (unsigned actions : {1u, 3u, 4u, 7u, 8u}) {
+        std::vector<double> planeF(kRows * actions);
+        std::vector<std::int8_t> planeI(kRows * actions);
+        for (double &v : planeF)
+            v = static_cast<double>(
+                    static_cast<std::int64_t>(rng.next() % 2001) -
+                    1000) /
+                16.0;
+        for (std::int8_t &v : planeI)
+            v = static_cast<std::int8_t>(rng.next());
+        for (unsigned n : kRaggedSizes) {
+            std::vector<std::uint32_t> rows(n);
+            for (std::uint32_t &r : rows)
+                r = static_cast<std::uint32_t>(rng.next() % kRows);
+            std::vector<double> accS(n * actions, 0.25);
+            std::vector<double> accW = accS;
+            simd::accumulateRowsF64(Backend::kScalar, planeF.data(),
+                                    rows.data(), n, actions,
+                                    accS.data());
+            simd::accumulateRowsI8(Backend::kScalar, planeI.data(),
+                                   rows.data(), n, actions, 16.0,
+                                   accS.data());
+            for (unsigned i = 0; i < n; ++i) {
+                for (unsigned a = 0; a < actions; ++a) {
+                    double want =
+                        0.25 + planeF[rows[i] * actions + a] +
+                        static_cast<double>(
+                            planeI[rows[i] * actions + a]) /
+                            16.0;
+                    EXPECT_EQ(accS[i * actions + a], want)
+                        << "n=" << n << " actions=" << actions;
+                }
+            }
+            if (!avx2())
+                continue;
+            simd::accumulateRowsF64(Backend::kAvx2, planeF.data(),
+                                    rows.data(), n, actions,
+                                    accW.data());
+            simd::accumulateRowsI8(Backend::kAvx2, planeI.data(),
+                                   rows.data(), n, actions, 16.0,
+                                   accW.data());
+            EXPECT_EQ(accS, accW)
+                << "n=" << n << " actions=" << actions;
+        }
+    }
+}
+
+// ------------------------------------------------- strided scans
+
+TEST(SimdKernels, StridedScanAndCollectBackendsAgree)
+{
+    constexpr unsigned kStride = 24;
+    constexpr unsigned kLen = 300;
+    Rng rng(0x51bd6);
+    for (int density = 0; density < 4; ++density) {
+        std::vector<unsigned char> buf(kLen * kStride, 0);
+        std::vector<unsigned> loads;
+        for (unsigned i = 0; i < kLen; ++i) {
+            // Vary the load density from sparse to every record;
+            // non-kind bytes are noise the gather must mask off.
+            bool is_load = (rng.next() & 3u) <=
+                           static_cast<unsigned>(density);
+            buf[i * kStride + 16] = is_load ? 1 : 2;
+            buf[i * kStride + 17] =
+                static_cast<unsigned char>(rng.next());
+            if (is_load)
+                loads.push_back(i);
+        }
+        const unsigned char *kinds = buf.data() + 16;
+        for (Backend b : {Backend::kScalar, Backend::kAvx2}) {
+            if (b == Backend::kAvx2 && !avx2())
+                continue;
+            // scan: first match from every starting point.
+            for (unsigned start = 0; start < kLen; start += 7) {
+                unsigned want = start;
+                while (want < kLen &&
+                       buf[want * kStride + 16] != 1)
+                    ++want;
+                EXPECT_EQ(simd::scanStridedByteEq(b, kinds, kStride,
+                                                  start, kLen, 1),
+                          want)
+                    << "density=" << density << " start=" << start;
+            }
+            // collect: quota cuts mid-span, resume picks up the
+            // remainder exactly where the scalar loop would.
+            for (unsigned quota : {1u, 5u, 32u, 1000u}) {
+                unsigned pos = 0;
+                std::vector<std::uint16_t> got;
+                std::array<std::uint16_t, 1000> out;
+                while (pos < kLen) {
+                    unsigned c = simd::collectStridedByteEq(
+                        b, kinds, kStride, &pos, kLen, 1,
+                        out.data(), quota);
+                    for (unsigned i = 0; i < c; ++i)
+                        got.push_back(out[i]);
+                    if (c < quota)
+                        break; // window exhausted
+                    // Quota filled: pos must sit one past the last
+                    // accepted match.
+                    ASSERT_GT(c, 0u);
+                    EXPECT_EQ(pos, out[c - 1] + 1u);
+                }
+                ASSERT_EQ(got.size(), loads.size())
+                    << "density=" << density << " quota=" << quota;
+                for (unsigned i = 0; i < got.size(); ++i)
+                    EXPECT_EQ(got[i], loads[i]);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- components
+
+void
+qvBackendMatrixMatchesScalar(QVStoreParams params)
+{
+    // The same teaching sequence lands the same entries in every
+    // store (updates are backend-independent).
+    auto teach = [&](QVStore &qv) {
+        Rng rng(0xabcdef);
+        for (int i = 0; i < 500; ++i) {
+            auto s = static_cast<std::uint32_t>(rng.next());
+            auto s2 = static_cast<std::uint32_t>(rng.next());
+            qv.update(s, s & 3, (rng.next() % 7) - 3.0, s2, s2 & 3);
+        }
+    };
+    for (Backend b : {Backend::kScalar, Backend::kAvx2}) {
+        if (b == Backend::kAvx2 && !avx2())
+            continue;
+        ForcedBackendGuard guard(b);
+        QVStore qv(params);
+        EXPECT_EQ(qv.simdBackend(), b);
+        teach(qv);
+        Rng rng(0x77aa);
+        const unsigned actions = qv.params().actions;
+        for (unsigned n : kRaggedSizes) {
+            std::vector<std::uint32_t> states(n);
+            for (std::uint32_t &s : states) {
+                s = static_cast<std::uint32_t>(rng.next());
+                if (rng.next() & 1)
+                    s &= 0xfff; // in-memo packed states too
+            }
+            std::vector<double> got(n * actions, -1.0);
+            qv.lookupBatch(states.data(), n, got.data());
+            for (unsigned i = 0; i < n; ++i) {
+                for (unsigned a = 0; a < actions; ++a) {
+                    EXPECT_EQ(got[i * actions + a],
+                              qv.q(states[i], a))
+                        << simd::backendName(b) << " n=" << n
+                        << " i=" << i << " a=" << a;
+                }
+            }
+            std::vector<std::uint32_t> rows(n * params.planes);
+            qv.qRowsBatch(states.data(), n, rows.data());
+            for (unsigned i = 0; i < n; ++i) {
+                std::vector<double> onecol(actions);
+                qv.qAllActions(states[i], onecol.data());
+                for (unsigned a = 0; a < actions; ++a) {
+                    EXPECT_EQ(onecol[a], qv.q(states[i], a));
+                }
+            }
+            // Row indices are pure: batch rows must equal a
+            // scalar-backend twin's.
+            simd::forceBackend(Backend::kScalar);
+            QVStore twin(params);
+            simd::forceBackend(b);
+            std::vector<std::uint32_t> ref(n * params.planes);
+            twin.qRowsBatch(states.data(), n, ref.data());
+            EXPECT_EQ(rows, ref)
+                << simd::backendName(b) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdQVStore, LookupBatchBackendMatrixFloat)
+{
+    qvBackendMatrixMatchesScalar(QVStoreParams{});
+}
+
+TEST(SimdQVStore, LookupBatchBackendMatrixQuantized)
+{
+    QVStoreParams p;
+    p.quantized = true;
+    qvBackendMatrixMatchesScalar(p);
+}
+
+TEST(SimdQVStore, LookupBatchBackendMatrixNoMemo)
+{
+    QVStoreParams p;
+    p.memoizeRows = false;
+    qvBackendMatrixMatchesScalar(p);
+}
+
+TEST(SimdQVStore, NonPowerOfTwoRowsStayScalarAndCorrect)
+{
+    QVStoreParams p;
+    p.rows = 48; // not a power of two: wide row path must not run
+    for (Backend b : {Backend::kScalar, Backend::kAvx2}) {
+        if (b == Backend::kAvx2 && !avx2())
+            continue;
+        ForcedBackendGuard guard(b);
+        QVStore qv(p);
+        Rng rng(0x9001);
+        for (unsigned n : kRaggedSizes) {
+            std::vector<std::uint32_t> states(n);
+            for (std::uint32_t &s : states)
+                s = static_cast<std::uint32_t>(rng.next());
+            std::vector<double> got(n * p.actions, -1.0);
+            qv.lookupBatch(states.data(), n, got.data());
+            for (unsigned i = 0; i < n; ++i) {
+                for (unsigned a = 0; a < p.actions; ++a) {
+                    EXPECT_EQ(got[i * p.actions + a],
+                              qv.q(states[i], a));
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdPythia, DeltaSeqHashBatchBackendMatrix)
+{
+    Rng rng(0x51bd7);
+    for (Backend b : {Backend::kScalar, Backend::kAvx2}) {
+        if (b == Backend::kAvx2 && !avx2())
+            continue;
+        ForcedBackendGuard guard(b);
+        PythiaPrefetcher wide(42);
+        PythiaPrefetcher probe(42);
+        // probe stays on the sequential per-key path regardless of
+        // backend by feeding batches of one.
+        for (unsigned n : kRaggedSizes) {
+            std::vector<std::uint32_t> keys(n);
+            for (std::uint32_t &k : keys) {
+                // Heavy key reuse exercises memo hits.
+                k = static_cast<std::uint32_t>(rng.next() % 37) *
+                    0x01010101u;
+            }
+            std::vector<std::uint64_t> got(n), want(n);
+            wide.deltaSeqHashBatch(keys.data(), n, got.data());
+            for (unsigned i = 0; i < n; ++i)
+                probe.deltaSeqHashBatch(&keys[i], 1, &want[i]);
+            EXPECT_EQ(got, want)
+                << simd::backendName(b) << " n=" << n;
+            for (unsigned i = 0; i < n; ++i) {
+                EXPECT_EQ(got[i],
+                          PythiaPrefetcher::deltaSeqHash(keys[i]));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- whole-sim A/B
+
+WorkloadSpec
+pickWorkload(const char *substr)
+{
+    auto workloads = evalWorkloads();
+    for (const WorkloadSpec &w : workloads) {
+        if (w.name.find(substr) != std::string::npos)
+            return w;
+    }
+    return workloads.front();
+}
+
+SimResult
+runForced(Backend b, const SystemConfig &cfg,
+          const std::vector<WorkloadSpec> &specs,
+          const RunPlan &plan)
+{
+    ForcedBackendGuard guard(b);
+    Simulator sim(cfg, specs);
+    return sim.run(plan);
+}
+
+void
+expectResultsIdentical(const SimResult &a, const SimResult &b,
+                       const char *ctx)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size()) << ctx;
+    for (unsigned c = 0; c < a.cores.size(); ++c) {
+        const SimResult::PerCore &x = a.cores[c];
+        const SimResult::PerCore &y = b.cores[c];
+        EXPECT_EQ(x.instructions, y.instructions) << ctx << " c" << c;
+        EXPECT_EQ(x.cycles, y.cycles) << ctx << " c" << c;
+        EXPECT_EQ(x.ipc, y.ipc) << ctx << " c" << c;
+        EXPECT_EQ(x.loads, y.loads) << ctx << " c" << c;
+        EXPECT_EQ(x.stores, y.stores) << ctx << " c" << c;
+        EXPECT_EQ(x.branchMispredicts, y.branchMispredicts)
+            << ctx << " c" << c;
+        EXPECT_EQ(x.llcMisses, y.llcMisses) << ctx << " c" << c;
+        EXPECT_EQ(x.llcMissLatency, y.llcMissLatency)
+            << ctx << " c" << c;
+        EXPECT_EQ(x.ocpPredictions, y.ocpPredictions)
+            << ctx << " c" << c;
+        EXPECT_EQ(x.ocpCorrect, y.ocpCorrect) << ctx << " c" << c;
+        EXPECT_EQ(x.actionHistogram, y.actionHistogram)
+            << ctx << " c" << c;
+        for (unsigned s = 0; s < x.pf.size(); ++s) {
+            EXPECT_EQ(x.pf[s].issued, y.pf[s].issued)
+                << ctx << " c" << c << " pf" << s;
+            EXPECT_EQ(x.pf[s].used, y.pf[s].used)
+                << ctx << " c" << c << " pf" << s;
+        }
+    }
+    EXPECT_EQ(a.dram.demandRequests, b.dram.demandRequests) << ctx;
+    EXPECT_EQ(a.dram.prefetchRequests, b.dram.prefetchRequests)
+        << ctx;
+    EXPECT_EQ(a.dram.rowHits, b.dram.rowHits) << ctx;
+    EXPECT_EQ(a.dram.busBusyCycles, b.dram.busBusyCycles) << ctx;
+    EXPECT_EQ(a.busUtilization, b.busUtilization) << ctx;
+}
+
+TEST(SimdSim, Cd1AthenaEpoch500BackendsIdentical)
+{
+    if (!avx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd1, PolicyKind::kAthena);
+    cfg.epochInstructions = 500;
+    RunPlan plan(60000, 5000);
+    SimResult scalar = runForced(Backend::kScalar, cfg,
+                                 {pickWorkload("bwaves")}, plan);
+    SimResult wide = runForced(Backend::kAvx2, cfg,
+                               {pickWorkload("bwaves")}, plan);
+    expectResultsIdentical(scalar, wide, "cd1_athena_epoch500");
+}
+
+TEST(SimdSim, Cd4AthenaChaseBackendsIdentical)
+{
+    // IPCP (L1D) + Pythia (L2C) + POPET: covers the prefetcher
+    // trigger-path feed as well as the OCP plane.
+    if (!avx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd4, PolicyKind::kAthena);
+    RunPlan plan(60000, 5000);
+    SimResult scalar = runForced(Backend::kScalar, cfg,
+                                 {pickWorkload("mcf")}, plan);
+    SimResult wide = runForced(Backend::kAvx2, cfg,
+                               {pickWorkload("mcf")}, plan);
+    expectResultsIdentical(scalar, wide, "cd4_athena_chase");
+}
+
+TEST(SimdSim, Cd3AthenaBackendsIdentical)
+{
+    // SMS (L2C) in the mix: region-key memo priming covered.
+    if (!avx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    SystemConfig cfg =
+        makeDesignConfig(CacheDesign::kCd3, PolicyKind::kAthena);
+    RunPlan plan(40000, 4000);
+    SimResult scalar = runForced(Backend::kScalar, cfg,
+                                 {pickWorkload("bwaves")}, plan);
+    SimResult wide = runForced(Backend::kAvx2, cfg,
+                               {pickWorkload("bwaves")}, plan);
+    expectResultsIdentical(scalar, wide, "cd3_athena");
+}
+
+} // namespace
+} // namespace athena
